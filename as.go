@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+// Problem is the permutation-CSP interface solved by the Adaptive
+// Search engine. See internal/core for the full contract, including the
+// optional SwapExecutor / ResetHandler / Tuner interfaces incremental
+// encodings implement.
+type Problem = core.Problem
+
+// Options configures one Adaptive Search engine run.
+type Options = core.Options
+
+// Result reports a Solve outcome with full execution statistics.
+type Result = core.Result
+
+// Directive steers a run from an Options.Monitor callback.
+type Directive = core.Directive
+
+// MultiWalkOptions configures a parallel multi-walk run.
+type MultiWalkOptions = multiwalk.Options
+
+// MultiWalkResult aggregates a parallel multi-walk run.
+type MultiWalkResult = multiwalk.Result
+
+// ExchangeOptions tunes the dependent (communicating) multi-walk
+// scheme, the paper's future-work extension.
+type ExchangeOptions = multiwalk.ExchangeOptions
+
+// ProblemFactory builds fresh problem instances, one per walker.
+type ProblemFactory = multiwalk.Factory
+
+// Model is the declarative CSP builder: add constraints over a
+// permutation, then Compile into a Problem.
+type Model = csp.Model
+
+// ProblemInfo describes a registered benchmark.
+type ProblemInfo = problems.Info
+
+// Solve runs the sequential Adaptive Search engine on p.
+func Solve(ctx context.Context, p Problem, opts Options) (Result, error) {
+	return core.Solve(ctx, p, opts)
+}
+
+// TunedOptions returns engine defaults with the problem's benchmark-
+// specific tuning applied.
+func TunedOptions(p Problem) Options { return core.TunedOptions(p) }
+
+// DefaultOptions returns plain engine defaults for an n-variable
+// problem.
+func DefaultOptions(n int) Options { return core.DefaultOptions(n) }
+
+// SolveParallel runs k independent walks concurrently and returns as
+// soon as one finds a solution — the paper's parallel scheme.
+func SolveParallel(ctx context.Context, factory ProblemFactory, opts MultiWalkOptions) (MultiWalkResult, error) {
+	return multiwalk.Run(ctx, factory, opts)
+}
+
+// SolveParallelVirtual runs the same independent walks sequentially to
+// completion, deterministically, declaring the fewest-iterations walker
+// the winner. This is the hardware-independent view used by the
+// experiment harness.
+func SolveParallelVirtual(ctx context.Context, factory ProblemFactory, opts MultiWalkOptions) (MultiWalkResult, error) {
+	return multiwalk.RunVirtual(ctx, factory, opts)
+}
+
+// NewProblem constructs a registered benchmark instance by name
+// ("all-interval", "perfect-square", "magic-square", "costas", "queens",
+// "alpha", "langford", "partition"). size <= 0 selects the default.
+func NewProblem(name string, size int) (Problem, error) {
+	return problems.New(name, size)
+}
+
+// NewProblemFactory returns a factory of fresh instances of a
+// registered benchmark, for SolveParallel.
+func NewProblemFactory(name string, size int) (ProblemFactory, error) {
+	f, err := problems.NewFactory(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return ProblemFactory(f), nil
+}
+
+// Benchmarks lists the registered benchmark names.
+func Benchmarks() []string { return problems.Names() }
+
+// DescribeBenchmark returns metadata for a registered benchmark.
+func DescribeBenchmark(name string) (ProblemInfo, error) { return problems.Describe(name) }
+
+// NewModel starts a declarative CSP over n variables whose values are
+// cfg[i] + valueOffset.
+func NewModel(n, valueOffset int) *Model { return csp.NewModel(n, valueOffset) }

@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFacadeSequential exercises the public API end to end: construct a
+// benchmark, solve it, check the statistics.
+func TestFacadeSequential(t *testing.T) {
+	p, err := NewProblem("queens", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(context.Background(), p, TunedOptions(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Cost != 0 {
+		t.Fatalf("queens unsolved: %v", res)
+	}
+}
+
+func TestFacadeParallel(t *testing.T) {
+	f, err := NewProblemFactory("costas", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewProblem("costas", 10)
+	res, err := SolveParallel(context.Background(), f, MultiWalkOptions{
+		Walkers: 3,
+		Seed:    5,
+		Engine:  TunedOptions(p),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("parallel costas unsolved: %+v", res)
+	}
+}
+
+func TestFacadeVirtual(t *testing.T) {
+	f, err := NewProblemFactory("costas", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewProblem("costas", 9)
+	res, err := SolveParallelVirtual(context.Background(), f, MultiWalkOptions{
+		Walkers: 4,
+		Seed:    2,
+		Engine:  TunedOptions(p),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Winner < 0 {
+		t.Fatalf("virtual run failed: %+v", res)
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 8 {
+		t.Fatalf("expected 8 benchmarks, got %v", names)
+	}
+	info, err := DescribeBenchmark("costas")
+	if err != nil || info.PaperSize != 22 {
+		t.Fatalf("costas info: %+v, %v", info, err)
+	}
+	if _, err := NewProblem("bogus", 1); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+}
+
+func TestFacadeModel(t *testing.T) {
+	m := NewModel(3, 1)
+	m.AddLinearSum("s", []int{0, 1, 2}, nil, 6)
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(context.Background(), c, DefaultOptions(3))
+	if err != nil || !res.Solved {
+		t.Fatalf("model solve failed: %v %v", res, err)
+	}
+}
+
+func TestFacadeDefaultSizes(t *testing.T) {
+	p, err := NewProblem("langford", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 64 { // default n=32 values -> 64 items
+		t.Fatalf("langford default size = %d", p.Size())
+	}
+}

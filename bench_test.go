@@ -1,0 +1,234 @@
+// Benchmarks: one testing.B target per paper artifact (Figs. 1-3, the
+// headline-claims summary, the execution-time tables, the runtime-
+// distribution diagnostics) plus the ablations and engine
+// micro-benchmarks. The expensive step — collecting runtime
+// distributions — happens once per `go test -bench` process at tiny
+// scale; each benchmark iteration then regenerates its artifact from
+// the shared suite, which is exactly the work the paper's figures
+// represent.
+package repro
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+	"repro/internal/stats"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+	suiteErr  error
+)
+
+func tinySuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = bench.NewSuite(context.Background(), bench.ScaleTiny, 2012)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkFig1HA8000Speedups regenerates paper Fig. 1: CSPLib speedups
+// on the HA8000 platform model.
+func BenchmarkFig1HA8000Speedups(b *testing.B) {
+	s := tinySuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Grid5000Speedups regenerates paper Fig. 2: CSPLib
+// speedups on the Grid'5000 Suno platform model.
+func BenchmarkFig2Grid5000Speedups(b *testing.B) {
+	s := tinySuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3CostasLogLog regenerates paper Fig. 3: Costas speedups
+// w.r.t. 32 cores with the log-log slope fit.
+func BenchmarkFig3CostasLogLog(b *testing.B) {
+	s := tinySuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummaryClaims regenerates the headline-claims table
+// (speedups at 64/128/256 cores; Costas slope).
+func BenchmarkSummaryClaims(b *testing.B) {
+	s := tinySuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SummaryTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeTables regenerates the EvoCOP'11-style execution-time
+// tables behind Figs. 1-2 (all benchmarks x all three platforms).
+func BenchmarkTimeTables(b *testing.B) {
+	s := tinySuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TimesTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeDistributions regenerates the distribution
+// diagnostics table (EXP-D1): CV, QQ-R2 and the shifted-exponential
+// fits that explain the paper's two speedup regimes.
+func BenchmarkRuntimeDistributions(b *testing.B) {
+	s := tinySuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DistributionTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCommunication compares independent vs dependent
+// multi-walk (EXP-A1, the paper's future-work question) on a small
+// Costas instance.
+func BenchmarkAblationCommunication(b *testing.B) {
+	w := bench.Workload{Benchmark: "costas", Size: 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationComm(context.Background(), w, []int{2, 4}, 3, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationKnobs sweeps the engine's design knobs (EXP-A2).
+func BenchmarkAblationKnobs(b *testing.B) {
+	w := bench.Workload{Benchmark: "costas", Size: 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationKnobs(context.Background(), w, 3, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialSolve measures one full sequential Adaptive Search
+// solve per benchmark — the paper's T_seq.
+func BenchmarkSequentialSolve(b *testing.B) {
+	cases := []struct {
+		name string
+		size int
+	}{
+		{"costas", 12},
+		{"all-interval", 16},
+		{"magic-square", 8},
+		{"perfect-square", 9},
+		{"queens", 64},
+		{"langford", 16},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			factory, err := problems.NewFactory(c.name, c.size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				p, err := factory()
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := core.TunedOptions(p)
+				opts.Seed = uint64(i)
+				res, err := core.Solve(context.Background(), p, opts)
+				if err != nil || !res.Solved {
+					b.Fatalf("unsolved: %v %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiWalkVirtual measures a deterministic 8-walk virtual
+// multi-walk job — the paper's parallel execution in its measurement
+// form.
+func BenchmarkMultiWalkVirtual(b *testing.B) {
+	factory, err := problems.NewFactory("costas", 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := factory()
+	engine := core.TunedOptions(p)
+	for i := 0; i < b.N; i++ {
+		res, err := multiwalk.RunVirtual(context.Background(), factory, multiwalk.Options{
+			Walkers: 8,
+			Seed:    uint64(i),
+			Engine:  engine,
+		})
+		if err != nil || !res.Solved {
+			b.Fatalf("unsolved: %+v %v", res, err)
+		}
+	}
+}
+
+// BenchmarkMultiWalkConcurrent measures the goroutine-based first-
+// solution-wins execution (the production path).
+func BenchmarkMultiWalkConcurrent(b *testing.B) {
+	factory, err := problems.NewFactory("costas", 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := factory()
+	engine := core.TunedOptions(p)
+	for i := 0; i < b.N; i++ {
+		res, err := multiwalk.Run(context.Background(), factory, multiwalk.Options{
+			Walkers: 4,
+			Seed:    uint64(i),
+			Engine:  engine,
+		})
+		if err != nil || !res.Solved {
+			b.Fatalf("unsolved: %+v %v", res, err)
+		}
+	}
+}
+
+// BenchmarkOrderStatEstimator measures the exact E[min_k] estimator on
+// a 1000-observation sample across the paper's core counts.
+func BenchmarkOrderStatEstimator(b *testing.B) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i%977) + 1
+	}
+	s, err := stats.New(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{16, 32, 64, 128, 256} {
+			if _, err := s.ExpectedMin(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

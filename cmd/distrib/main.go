@@ -1,0 +1,124 @@
+// Command distrib collects and analyzes the sequential runtime
+// distribution of one benchmark: the measurement underlying every
+// speedup prediction in the reproduction (EXP-D1 in DESIGN.md).
+//
+// Usage:
+//
+//	distrib -problem costas -size 14 -runs 300
+//
+// It prints summary statistics, the shifted-exponential fit, the
+// exponentiality diagnostics, a histogram, and the predicted multi-walk
+// speedups at the paper's core counts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/problems"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distrib:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		problem = flag.String("problem", "costas", "benchmark name")
+		size    = flag.Int("size", 0, "instance size (0 = default)")
+		runs    = flag.Int("runs", 300, "number of sequential solves")
+		seed    = flag.Uint64("seed", 7, "master seed")
+		timeout = flag.Duration("timeout", 2*time.Hour, "overall deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	w := bench.Workload{Benchmark: *problem, Size: *size, Runs: *runs}
+	if *size <= 0 {
+		info, err := problems.Describe(*problem)
+		if err != nil {
+			return err
+		}
+		w.Size = info.DefaultSize
+	}
+	fmt.Printf("collecting %d sequential solves of %s...\n", *runs, *problem)
+	start := time.Now()
+	d, err := bench.Collect(ctx, w, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	it := d.Iters
+	fmt.Printf("workload:          %s\n", d.Workload)
+	fmt.Printf("runs:              %d\n", it.N())
+	fmt.Printf("iterations:        mean=%.0f median=%.0f min=%.0f max=%.0f\n",
+		it.Mean(), it.Median(), it.Min(), it.Max())
+	fmt.Printf("wall seconds:      mean=%.4f median=%.4f\n", d.Seconds.Mean(), d.Seconds.Median())
+	fmt.Printf("iteration rate:    %.0f iters/s on this machine\n", d.ItersPerSecond)
+	fmt.Printf("CV:                %.3f (exponential = 1.0)\n", it.CV())
+	fmt.Printf("QQ-exponential R2: %.3f\n", it.QQExponentialR2())
+	sat := "+inf (ideal linear speedup)"
+	if d.Model.Shift > 0 {
+		sat = fmt.Sprintf("%.1f", d.Model.SaturationSpeedup())
+	}
+	fmt.Printf("shifted-exp fit:   shift=%.0f scale=%.0f -> saturation speedup %s\n\n",
+		d.Model.Shift, d.Model.Scale, sat)
+
+	printHistogram(it, 12, 48)
+
+	fmt.Println("\npredicted multi-walk speedups (order statistics | shifted-exp model):")
+	for _, k := range []int{16, 32, 64, 128, 256} {
+		sp, err := it.Speedup(k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %4d cores: %7.1f | %7.1f\n", k, sp, d.Model.Speedup(k))
+	}
+	return nil
+}
+
+// printHistogram renders an ASCII histogram of the sample.
+func printHistogram(s *stats.Sample, bins, width int) {
+	xs, _ := s.ECDF()
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		fmt.Println("histogram: all observations identical")
+		return
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		b := int(float64(bins) * (x - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Println("histogram (iterations to solution):")
+	for b, c := range counts {
+		barLen := 0
+		if maxC > 0 {
+			barLen = c * width / maxC
+		}
+		fmt.Printf("  %9.0f |%s %d\n",
+			lo+(hi-lo)*float64(b)/float64(bins),
+			strings.Repeat("#", barLen), c)
+	}
+}

@@ -1,0 +1,198 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// every figure and table of "Performance Analysis of Parallel
+// Constraint-Based Local Search" (PPoPP 2012), plus the extended
+// diagnostics and ablations indexed in DESIGN.md §4.
+//
+// Usage:
+//
+//	experiments -exp all                  # everything, laptop scale
+//	experiments -exp fig1,fig3 -scale tiny
+//	experiments -exp summary -out results/
+//
+// Experiments: fig1, fig2, fig3, summary, times, distrib, validate,
+// extended, ablation-comm, ablation-knobs, all.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (fig1,fig2,fig3,summary,times,distrib,validate,ablation-comm,ablation-knobs,all)")
+		scaleStr = flag.String("scale", "small", "instance scale: tiny|small|paper")
+		seed     = flag.Uint64("seed", 2012, "master seed")
+		outDir   = flag.String("out", "", "directory for .txt/.csv artifacts (optional)")
+		timeout  = flag.Duration("timeout", 4*time.Hour, "overall deadline")
+	)
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	needSuite := all || want["fig1"] || want["fig2"] || want["fig3"] ||
+		want["summary"] || want["times"] || want["distrib"] || want["validate"]
+
+	var suite *bench.Suite
+	if needSuite {
+		fmt.Printf("collecting runtime distributions (scale=%s)...\n", scale)
+		start := time.Now()
+		suite, err = bench.NewSuite(ctx, scale, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collection done in %v\n\n", time.Since(start).Round(time.Second))
+	}
+
+	var tables []*bench.Table
+	charts := map[string]map[string][]float64{}
+
+	if all || want["fig1"] {
+		t, series, err := suite.Fig1()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		charts["fig1"] = series
+	}
+	if all || want["fig2"] {
+		t, series, err := suite.Fig2()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		charts["fig2"] = series
+	}
+	if all || want["fig3"] {
+		t, err := suite.Fig3()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if all || want["summary"] {
+		t, err := suite.SummaryTable()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if all || want["times"] {
+		t, err := suite.TimesTable()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if all || want["distrib"] {
+		t, err := suite.DistributionTable()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if all || want["validate"] {
+		t, err := suite.ValidationTable(ctx, []int{2, 4, 8}, 10)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if all || want["ablation-comm"] {
+		w := bench.PaperWorkloads(scale)["costas"]
+		t, err := bench.AblationComm(ctx, w, []int{2, 4, 8}, 10, *seed)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if all || want["extended"] {
+		t, err := bench.ExtendedTable(ctx, *seed)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if all || want["ablation-knobs"] {
+		w := bench.PaperWorkloads(scale)["magic-square"]
+		t, err := bench.AblationKnobs(ctx, w, 20, *seed)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		return fmt.Errorf("no experiments matched %q", *exps)
+	}
+
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		if series, ok := charts[t.ID]; ok {
+			cores := coreLabels(t.ID)
+			if err := bench.AsciiChart(os.Stdout, t.Title, cores, series, 14); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, t := range tables {
+			txt, err := os.Create(filepath.Join(*outDir, t.ID+".txt"))
+			if err != nil {
+				return err
+			}
+			if err := t.Render(txt); err != nil {
+				txt.Close()
+				return err
+			}
+			txt.Close()
+			csv, err := os.Create(filepath.Join(*outDir, t.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.CSV(csv); err != nil {
+				csv.Close()
+				return err
+			}
+			csv.Close()
+		}
+		fmt.Printf("artifacts written to %s\n", *outDir)
+	}
+	return nil
+}
+
+func coreLabels(id string) []int {
+	if id == "fig3" {
+		return bench.CostasCoreCounts
+	}
+	return bench.CoreCounts
+}

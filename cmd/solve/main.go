@@ -1,0 +1,170 @@
+// Command solve runs the Adaptive Search solver on one benchmark
+// instance, sequentially or with parallel multi-walk, and prints the
+// solution and execution statistics.
+//
+// Usage:
+//
+//	solve -problem costas -size 16 -walkers 8 -seed 42 -timeout 60s
+//	solve -problem magic-square -size 10
+//	solve -list
+//
+// With -walkers > 1 the run uses the paper's independent multi-walk
+// scheme (first solution wins); -exchange enables the dependent
+// (communicating) variant; -virtual executes walks sequentially and
+// reports the deterministic iteration-count winner.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		problem  = flag.String("problem", "costas", "benchmark name (see -list)")
+		size     = flag.Int("size", 0, "instance size (0 = benchmark default)")
+		walkers  = flag.Int("walkers", 1, "parallel walkers (1 = sequential)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+		exchange = flag.Bool("exchange", false, "enable dependent multi-walk communication")
+		virtual  = flag.Bool("virtual", false, "deterministic virtual multi-walk (winner by iterations)")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		quiet    = flag.Bool("quiet", false, "suppress solution printing")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range problems.Names() {
+			info, err := problems.Describe(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-15s default=%-5d paper=%-5d %s\n", info.Name, info.DefaultSize, info.PaperSize, info.Description)
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	p, err := problems.New(*problem, *size)
+	if err != nil {
+		return err
+	}
+	opts := core.TunedOptions(p)
+	opts.Seed = *seed
+
+	if *walkers <= 1 {
+		res, err := core.Solve(ctx, p, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s n=%d (sequential)\n%s\n", *problem, p.Size(), res)
+		if res.Solved && !*quiet {
+			printSolution(p, res.Solution)
+		}
+		return exitStatus(res.Solved)
+	}
+
+	factory, err := problems.NewFactory(*problem, *size)
+	if err != nil {
+		return err
+	}
+	mopts := multiwalk.Options{Walkers: *walkers, Seed: *seed, Engine: opts}
+	if *exchange {
+		mopts.Exchange = multiwalk.ExchangeOptions{Enabled: true}
+	}
+	var res multiwalk.Result
+	if *virtual {
+		res, err = multiwalk.RunVirtual(ctx, factory, mopts)
+	} else {
+		res, err = multiwalk.Run(ctx, factory, mopts)
+	}
+	if err != nil {
+		return err
+	}
+	mode := "independent multi-walk"
+	if *exchange {
+		mode = "dependent multi-walk"
+	}
+	if *virtual {
+		mode += " (virtual)"
+	}
+	fmt.Printf("%s n=%d, %d walkers, %s\n", *problem, p.Size(), *walkers, mode)
+	if res.Solved {
+		fmt.Printf("SOLVED by walker %d in %d iterations (total work %d iters) in %v\n",
+			res.Winner, res.WinnerIterations, res.TotalIterations, res.Elapsed)
+		if !*quiet {
+			printSolution(p, res.Solution)
+		}
+	} else {
+		fmt.Printf("UNSOLVED (total work %d iters) in %v\n", res.TotalIterations, res.Elapsed)
+	}
+	for _, w := range res.Walkers {
+		status := "lost"
+		if w.Result.Solved {
+			status = "solved"
+		} else if w.Result.Interrupted {
+			status = "cancelled"
+		}
+		fmt.Printf("  walker %d: %-9s iters=%-10d restarts=%-3d adoptions=%d\n",
+			w.Walker, status, w.Result.Iterations, w.Result.Restarts, w.Adoptions)
+	}
+	return exitStatus(res.Solved)
+}
+
+func exitStatus(solved bool) error {
+	if !solved {
+		return fmt.Errorf("no solution found within the deadline")
+	}
+	return nil
+}
+
+// printSolution renders a solution with benchmark-specific formatting
+// where it helps (grids for magic-square and costas, letter assignments
+// for alpha).
+func printSolution(p core.Problem, sol []int) {
+	switch t := p.(type) {
+	case *problems.MagicSquare:
+		n := t.Side()
+		for r := 0; r < n; r++ {
+			var b strings.Builder
+			for c := 0; c < n; c++ {
+				fmt.Fprintf(&b, "%4d", sol[r*n+c]+1)
+			}
+			fmt.Println(b.String())
+		}
+	case *problems.Costas:
+		n := len(sol)
+		for row := n - 1; row >= 0; row-- {
+			var b strings.Builder
+			for col := 0; col < n; col++ {
+				if sol[col] == row {
+					b.WriteString(" X")
+				} else {
+					b.WriteString(" .")
+				}
+			}
+			fmt.Println(b.String())
+		}
+	case *problems.Alpha:
+		fmt.Println(t.Letters(sol))
+	default:
+		fmt.Println(sol)
+	}
+}

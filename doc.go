@@ -1,0 +1,39 @@
+// Package repro is a Go reproduction of "Performance Analysis of
+// Parallel Constraint-Based Local Search" (Abreu, Caniou, Codognet,
+// Diaz, Richoux — PPoPP 2012): the Adaptive Search constraint solver,
+// its CSPLib benchmark suite, the multiple independent-walk parallel
+// execution scheme, and the performance-analysis toolchain that
+// regenerates the paper's figures.
+//
+// The root package is a thin facade over the implementation packages:
+//
+//   - internal/core      — the sequential Adaptive Search engine
+//   - internal/problems  — benchmark encodings (all-interval,
+//     perfect-square, magic-square, Costas arrays, queens, alpha,
+//     langford, partition)
+//   - internal/multiwalk — parallel independent multi-walk execution
+//     (plus the paper's future-work dependent scheme)
+//   - internal/csp       — declarative constraint modeling
+//   - internal/stats     — runtime-distribution analysis and the
+//     order-statistics speedup estimator
+//   - internal/cluster   — HA8000 / Grid'5000 platform simulation
+//   - internal/bench     — the per-figure experiment harness
+//
+// # Quick start
+//
+//	p, err := repro.NewProblem("magic-square", 10)
+//	if err != nil { ... }
+//	res, err := repro.Solve(ctx, p, repro.TunedOptions(p))
+//	fmt.Println(res.Solved, res.Iterations)
+//
+// Parallel multi-walk (the paper's contribution):
+//
+//	factory, _ := repro.NewProblemFactory("costas", 14)
+//	mres, _ := repro.SolveParallel(ctx, factory, repro.MultiWalkOptions{
+//		Walkers: 8,
+//		Engine:  repro.TunedOptions(p),
+//	})
+//
+// See the examples/ directory for runnable programs and cmd/experiments
+// for the figure-regeneration harness.
+package repro

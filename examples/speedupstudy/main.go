@@ -1,0 +1,69 @@
+// Speedupstudy reproduces the paper's Fig. 3 pipeline end to end at
+// laptop scale: collect the sequential runtime distribution of a Costas
+// instance, verify it is near-exponential (memoryless), and predict the
+// multi-walk speedup up to 256 cores with the order-statistics
+// estimator and the simulated HA8000 platform — the substitution
+// DESIGN.md §2 documents for the paper's hardware.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	w := bench.Workload{Benchmark: "costas", Size: 13, Runs: 600}
+	fmt.Printf("collecting %d sequential solves of %s...\n", w.Runs, w)
+	d, err := bench.Collect(ctx, w, 2012)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean %.0f iterations, CV %.2f (exponential = 1.0), QQ-exp R2 %.3f\n\n",
+		d.Iters.Mean(), d.Iters.CV(), d.Iters.QQExponentialR2())
+
+	// Order-statistics prediction: E[T] / E[min_k].
+	fmt.Println("cores  speedup(orderstat)  speedup(model)  ideal")
+	fmt.Println("(orderstat estimates at k within ~n/10 of the sample size are exact; beyond, the fitted model extrapolates)")
+	for _, k := range []int{1, 16, 32, 64, 128, 256} {
+		sp, err := d.Iters.Speedup(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %18.1f  %14.1f  %5d\n", k, sp, d.Model.Speedup(k), k)
+	}
+
+	// Platform simulation: the same jobs on the HA8000 model, wall
+	// times in (simulated) seconds — Fig. 3's log-log view w.r.t. 32
+	// cores.
+	platform := cluster.HA8000()
+	// Dilate simulated time to the paper's duration scale: Costas-22
+	// takes hours sequentially, so HA8000's half-second job launch is
+	// negligible there — it must stay negligible in the simulation too.
+	platform.IterationsPerSecond = d.SimItersPerSecond()
+	src, err := cluster.NewEmpiricalSource(d.Iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := cluster.NewSim(platform, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, err := sim.SpeedupCurve([]int{32, 64, 128, 256}, 400, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsimulated HA8000, speedup w.r.t. 32 cores (paper Fig. 3):")
+	base := curve.Points[0]
+	for _, pt := range curve.Points {
+		fmt.Printf("%5d cores  wall %.3fs  speedup-vs-32 %.2fx (ideal %.2fx)\n",
+			pt.Cores, pt.MeanWall, base.MeanWall/pt.MeanWall, float64(pt.Cores)/32)
+	}
+}

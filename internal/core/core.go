@@ -1,0 +1,82 @@
+// Package core implements the Adaptive Search constraint-based local
+// search engine of Codognet & Diaz (SAGA'01, MIC'03), the sequential
+// solver underneath the parallel multi-walk study of Abreu, Caniou,
+// Codognet, Diaz & Richoux (PPoPP 2012).
+//
+// Adaptive Search operates on constraint satisfaction problems encoded
+// over permutations. Each constraint contributes an error; errors are
+// projected onto variables; each iteration the engine picks the worst
+// (highest-error) non-frozen variable and the best swap for it. A
+// non-improving best swap marks a local minimum: the variable is frozen
+// for a few iterations (an adaptive tabu), and when too many variables
+// are frozen the configuration is partially reset. An iteration budget
+// triggers a full restart from a fresh random permutation.
+//
+// Problems plug in through the Problem interface; incremental encodings
+// additionally implement SwapExecutor and/or ResetHandler, mirroring the
+// Cost_If_Swap / Executed_Swap / Reset hooks of the original C library.
+package core
+
+import "repro/internal/rng"
+
+// Problem is a CSP encoded over permutations of [0, n). The engine owns
+// the configuration slice and mutates it in place; a Problem must never
+// retain it between calls.
+//
+// Contract:
+//   - Cost fully recomputes the global error of cfg and, for problems
+//     that keep incremental state (cached row sums, difference tables,
+//     ...), rebuilds that state from scratch. Cost must return 0 if and
+//     only if cfg is a solution.
+//   - CostOnVariable returns the error projected onto variable i under
+//     the current configuration. It must be consistent with Cost in the
+//     weak sense required by Adaptive Search: variables involved in
+//     violated constraints have positive error, satisfied-only variables
+//     have error <= any violating variable. It must not mutate state.
+//   - CostIfSwap returns the global cost that Cost would return after
+//     swapping cfg[i] and cfg[j]; cost is the current global cost so the
+//     implementation can compute a delta. It must not mutate state.
+type Problem interface {
+	// Size returns the number of variables n.
+	Size() int
+	// Cost returns the global error of cfg; 0 means cfg is a solution.
+	Cost(cfg []int) int
+	// CostOnVariable returns the error projected onto variable i.
+	CostOnVariable(cfg []int, i int) int
+	// CostIfSwap returns the global cost after a hypothetical swap of
+	// positions i and j, given the current global cost.
+	CostIfSwap(cfg []int, cost, i, j int) int
+}
+
+// SwapExecutor is implemented by problems that maintain incremental
+// state. ExecutedSwap is invoked after the engine has swapped cfg[i] and
+// cfg[j] so the problem can update cached structures in O(1)/O(n) rather
+// than recomputing from scratch.
+type SwapExecutor interface {
+	ExecutedSwap(cfg []int, i, j int)
+}
+
+// ResetHandler is implemented by problems that want a custom partial
+// reset (the C library's Reset hook). Reset perturbs cfg in place and
+// returns the new global cost; incremental state must be left consistent
+// with the returned cfg. If a problem does not implement ResetHandler
+// the engine applies a generic partial shuffle followed by a full Cost
+// recompute.
+type ResetHandler interface {
+	Reset(cfg []int, r *rng.Rand) int
+}
+
+// Tuner is implemented by problems that ship benchmark-specific engine
+// parameters, like the per-benchmark settings compiled into the original
+// C library. Tune is applied by TunedOptions on top of the engine
+// defaults; Solve itself never tunes, so caller-supplied options are
+// always authoritative.
+type Tuner interface {
+	Tune(o *Options)
+}
+
+// Namer is implemented by problems that expose a human-readable name
+// for harness output. Optional.
+type Namer interface {
+	Name() string
+}

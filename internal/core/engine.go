@@ -1,0 +1,389 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+// TunedOptions returns DefaultOptions for p with the problem's Tune hook
+// (if any) applied. Callers typically start from TunedOptions, override
+// what they need, and pass the result to Solve.
+func TunedOptions(p Problem) Options {
+	o := DefaultOptions(p.Size())
+	if t, ok := p.(Tuner); ok {
+		t.Tune(&o)
+	}
+	return o
+}
+
+// Solve runs the Adaptive Search engine on p until a solution is found,
+// the restart budget is exhausted, or ctx is cancelled. A nil ctx is
+// treated as context.Background(). The returned error reports invalid
+// options or an ill-formed problem; search outcomes (including running
+// out of budget) are reported in the Result, not as errors.
+func Solve(ctx context.Context, p Problem, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := p.Size()
+	if n < 0 {
+		return Result{}, fmt.Errorf("core: problem reports negative size %d", n)
+	}
+	opts.normalize(n)
+	if err := opts.Validate(n); err != nil {
+		return Result{}, err
+	}
+	if opts.InitialConfig != nil {
+		if err := perm.Validate(opts.InitialConfig); err != nil {
+			return Result{}, fmt.Errorf("core: bad InitialConfig: %w", err)
+		}
+	}
+
+	e := &engine{
+		p:    p,
+		opts: opts,
+		rand: rng.New(opts.Seed),
+		done: ctx.Done(),
+	}
+	e.swapper, _ = p.(SwapExecutor)
+	e.resetter, _ = p.(ResetHandler)
+
+	start := time.Now()
+	res := e.solve()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// engine holds the mutable state of one Solve call.
+type engine struct {
+	p        Problem
+	opts     Options
+	rand     *rng.Rand
+	done     <-chan struct{}
+	swapper  SwapExecutor
+	resetter ResetHandler
+
+	cfg   []int
+	cost  int
+	marks []int64 // marks[i] >= current iteration means variable i is frozen
+	iter  int64   // iteration counter of the current run
+
+	res Result
+
+	bestCost int   // best global cost seen across all runs
+	bestCfg  []int // configuration achieving bestCost
+}
+
+func (e *engine) solve() Result {
+	n := e.p.Size()
+	e.res = Result{Cost: math.MaxInt}
+	e.bestCost = math.MaxInt
+
+	// Degenerate sizes: a 0- or 1-variable problem has a single
+	// configuration; report its cost directly.
+	if n < 2 {
+		cfg := perm.Identity(n)
+		c := e.p.Cost(cfg)
+		e.noteBest(c, cfg)
+		e.res.Solved = c == 0
+		e.finishResult()
+		return e.res
+	}
+
+	e.marks = make([]int64, n)
+	runs := 0
+	for {
+		runs++
+		solved, interrupted := e.runOnce(runs == 1)
+		if solved || interrupted {
+			e.res.Solved = solved
+			e.res.Interrupted = interrupted
+			break
+		}
+		if e.opts.MaxRuns > 0 && runs >= e.opts.MaxRuns {
+			break
+		}
+	}
+	e.res.Restarts = runs - 1
+	e.finishResult()
+	return e.res
+}
+
+// finishResult copies the best configuration into the Result.
+func (e *engine) finishResult() {
+	e.res.Cost = e.bestCost
+	if e.res.Solved && e.bestCfg != nil {
+		e.res.Solution = perm.Copy(e.bestCfg)
+	}
+}
+
+// noteBest records cfg if it improves on the best cost seen so far.
+func (e *engine) noteBest(cost int, cfg []int) {
+	if cost < e.bestCost {
+		e.bestCost = cost
+		if e.bestCfg == nil {
+			e.bestCfg = make([]int, len(cfg))
+		}
+		copy(e.bestCfg, cfg)
+	}
+}
+
+// runOnce performs a single Adaptive Search run (up to MaxIterations).
+// It returns solved=true when a zero-cost configuration was reached and
+// interrupted=true when the context was cancelled mid-run.
+func (e *engine) runOnce(first bool) (solved, interrupted bool) {
+	n := e.p.Size()
+	o := &e.opts
+
+	if first && o.InitialConfig != nil {
+		e.cfg = perm.Copy(o.InitialConfig)
+	} else {
+		e.cfg = e.rand.Perm(n)
+	}
+	e.cost = e.p.Cost(e.cfg)
+	for i := range e.marks {
+		e.marks[i] = 0
+	}
+	nMarked := 0
+	e.iter = 0
+	e.noteBest(e.cost, e.cfg)
+
+	checkEvery := int64(o.CheckEvery)
+	for e.cost > 0 && e.iter < o.MaxIterations {
+		e.iter++
+		e.res.Iterations++
+		if e.res.Iterations%checkEvery == 0 {
+			if e.cancelled() {
+				return false, true
+			}
+			if o.Monitor != nil {
+				d := o.Monitor(e.res.Iterations, e.cost, e.cfg)
+				if d.Stop {
+					return false, true
+				}
+				if d.Restart {
+					return false, false
+				}
+				if d.SetConfig != nil && e.adoptConfig(d.SetConfig) {
+					nMarked = 0
+					continue
+				}
+			}
+		}
+
+		var worst, bestJ, bestCost int
+		if o.Exhaustive {
+			worst, bestJ, bestCost = e.selectBestPair()
+		} else {
+			worst = e.selectWorstVariable()
+			bestJ, bestCost = e.selectBestSwap(worst)
+		}
+
+		if bestJ != worst {
+			// A move with cost <= current exists (possibly a sideways
+			// plateau move, which Adaptive Search accepts by default —
+			// "staying" competes in the tie pool above).
+			e.doSwap(worst, bestJ, bestCost)
+			if o.FreezeSwap > 0 {
+				e.marks[worst] = e.iter + int64(o.FreezeSwap)
+				e.marks[bestJ] = e.iter + int64(o.FreezeSwap)
+				nMarked += 2
+			}
+			continue
+		}
+
+		// Local minimum: every candidate swap is strictly worse than
+		// staying.
+		e.res.LocalMinima++
+		if o.ProbSelectLocMin > 0 && e.rand.Float64() < o.ProbSelectLocMin {
+			// Probabilistic escape: force the move on a random second
+			// variable (possibly uphill), as in the C library's
+			// prob_select_loc_min.
+			if o.Exhaustive {
+				worst = e.rand.Intn(n)
+			}
+			j := e.rand.Intn(n - 1)
+			if j >= worst {
+				j++
+			}
+			c := e.p.CostIfSwap(e.cfg, e.cost, worst, j)
+			e.doSwap(worst, j, c)
+			e.res.PlateauEscapes++
+			continue
+		}
+
+		// Freeze the worst variable; too many freezes since the last
+		// reset trigger a partial reset.
+		e.marks[worst] = e.iter + int64(o.FreezeLocMin)
+		nMarked++
+		if nMarked > o.ResetLimit {
+			e.partialReset()
+			for i := range e.marks {
+				e.marks[i] = 0
+			}
+			nMarked = 0
+		}
+	}
+	if e.cost == 0 {
+		e.noteBest(0, e.cfg)
+		return true, false
+	}
+	return false, e.cancelled()
+}
+
+// cancelled reports whether the context has been cancelled.
+func (e *engine) cancelled() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// selectWorstVariable returns the index with the highest projected error
+// among non-frozen variables, breaking ties uniformly at random. When
+// every variable is frozen it falls back to a uniformly random index,
+// as the C library does.
+func (e *engine) selectWorstVariable() int {
+	worst := -1
+	bestErr := math.MinInt
+	ties := 0
+	for i := range e.cfg {
+		if e.marks[i] >= e.iter {
+			continue
+		}
+		err := e.p.CostOnVariable(e.cfg, i)
+		switch {
+		case err > bestErr:
+			bestErr = err
+			worst = i
+			ties = 1
+		case err == bestErr:
+			ties++
+			if e.rand.Intn(ties) == 0 {
+				worst = i
+			}
+		}
+	}
+	if worst < 0 {
+		worst = e.rand.Intn(len(e.cfg))
+	}
+	return worst
+}
+
+// selectBestSwap scans all swap partners for variable i and returns the
+// partner minimizing the resulting global cost, ties broken uniformly.
+// Following the original Select_Var_Min_Conflict, "staying put" (j == i,
+// cost unchanged) seeds the candidate pool, so sideways plateau moves
+// compete with it on equal footing and strictly-worse moves are never
+// taken; bestJ == i signals a genuine local minimum. With FirstBest set
+// it returns the first strictly improving partner immediately.
+func (e *engine) selectBestSwap(i int) (j, cost int) {
+	bestJ := i
+	bestCost := e.cost
+	ties := 1
+	for cand := range e.cfg {
+		if cand == i {
+			continue
+		}
+		c := e.p.CostIfSwap(e.cfg, e.cost, i, cand)
+		switch {
+		case c < bestCost:
+			bestCost = c
+			bestJ = cand
+			ties = 1
+			if e.opts.FirstBest {
+				return bestJ, bestCost
+			}
+		case c == bestCost:
+			ties++
+			if e.rand.Intn(ties) == 0 {
+				bestJ = cand
+			}
+		}
+	}
+	return bestJ, bestCost
+}
+
+// selectBestPair scans every unordered variable pair and returns the
+// swap minimizing the resulting cost (Exhaustive mode). "Staying put" is
+// in the tie pool exactly as in selectBestSwap; i == j on return signals
+// a strict local minimum. Tabu marks are ignored.
+func (e *engine) selectBestPair() (i, j, cost int) {
+	n := len(e.cfg)
+	bestI, bestJ := 0, 0
+	bestCost := e.cost
+	ties := 1
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			c := e.p.CostIfSwap(e.cfg, e.cost, a, b)
+			switch {
+			case c < bestCost:
+				bestCost = c
+				bestI, bestJ = a, b
+				ties = 1
+				if e.opts.FirstBest {
+					return bestI, bestJ, bestCost
+				}
+			case c == bestCost:
+				ties++
+				if e.rand.Intn(ties) == 0 {
+					bestI, bestJ = a, b
+				}
+			}
+		}
+	}
+	return bestI, bestJ, bestCost
+}
+
+// doSwap executes the swap (i, j), records statistics, updates the
+// incremental state of the problem and the best-seen configuration.
+func (e *engine) doSwap(i, j, newCost int) {
+	e.cfg[i], e.cfg[j] = e.cfg[j], e.cfg[i]
+	if e.swapper != nil {
+		e.swapper.ExecutedSwap(e.cfg, i, j)
+	}
+	e.cost = newCost
+	e.res.Swaps++
+	e.noteBest(newCost, e.cfg)
+}
+
+// adoptConfig teleports the walker to cfg (from a Monitor directive),
+// clearing tabu marks and recomputing the cost. Invalid configurations
+// are rejected.
+func (e *engine) adoptConfig(cfg []int) bool {
+	if len(cfg) != len(e.cfg) || perm.Validate(cfg) != nil {
+		return false
+	}
+	copy(e.cfg, cfg)
+	e.cost = e.p.Cost(e.cfg)
+	for i := range e.marks {
+		e.marks[i] = 0
+	}
+	e.noteBest(e.cost, e.cfg)
+	return true
+}
+
+// partialReset perturbs the current configuration: problems implementing
+// ResetHandler control their own reset; otherwise a ResetFraction of the
+// variables is shuffled and the cost recomputed from scratch.
+func (e *engine) partialReset() {
+	e.res.Resets++
+	if e.resetter != nil {
+		e.cost = e.resetter.Reset(e.cfg, e.rand)
+	} else {
+		k := int(e.opts.ResetFraction * float64(len(e.cfg)))
+		if k < 2 {
+			k = 2
+		}
+		perm.PartialShuffle(e.cfg, k, e.rand)
+		e.cost = e.p.Cost(e.cfg)
+	}
+	e.noteBest(e.cost, e.cfg)
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+// sortProblem is a toy CSP: the solution is the identity permutation.
+// Cost counts misplaced variables. Its landscape is trivially funnel-
+// shaped, so the engine must solve it quickly; the tests use it to
+// exercise the engine mechanics in isolation from benchmark encodings.
+type sortProblem struct{ n int }
+
+func (s sortProblem) Size() int { return s.n }
+
+func (s sortProblem) Cost(cfg []int) int {
+	c := 0
+	for i, v := range cfg {
+		if v != i {
+			c++
+		}
+	}
+	return c
+}
+
+func (s sortProblem) CostOnVariable(cfg []int, i int) int {
+	if cfg[i] != i {
+		return 1
+	}
+	return 0
+}
+
+func (s sortProblem) CostIfSwap(cfg []int, cost, i, j int) int {
+	before := b2i(cfg[i] != i) + b2i(cfg[j] != j)
+	after := b2i(cfg[j] != i) + b2i(cfg[i] != j)
+	return cost - before + after
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// stuckProblem has a constant positive cost: it can never be solved, and
+// every swap looks cost-neutral (an endless plateau). Used to test
+// budgets, restarts and cancellation.
+type stuckProblem struct{ n int }
+
+func (s stuckProblem) Size() int                           { return s.n }
+func (s stuckProblem) Cost([]int) int                      { return 1 }
+func (s stuckProblem) CostOnVariable([]int, int) int       { return 1 }
+func (s stuckProblem) CostIfSwap([]int, int, int, int) int { return 1 }
+
+// pitProblem is a strict local minimum everywhere: every swap is worse.
+// Used to test the freeze/reset machinery, which only engages when no
+// sideways move exists.
+type pitProblem struct{ n int }
+
+func (p pitProblem) Size() int                           { return p.n }
+func (p pitProblem) Cost([]int) int                      { return 1 }
+func (p pitProblem) CostOnVariable([]int, int) int       { return 1 }
+func (p pitProblem) CostIfSwap([]int, int, int, int) int { return 2 }
+
+// floorProblem has minimum cost 1 (cost = misplaced count + 1): tests
+// that the best-seen cost is reported for unsolved runs.
+type floorProblem struct{ sortProblem }
+
+func (f floorProblem) Cost(cfg []int) int { return f.sortProblem.Cost(cfg) + 1 }
+func (f floorProblem) CostIfSwap(cfg []int, cost, i, j int) int {
+	return f.sortProblem.CostIfSwap(cfg, cost-1, i, j) + 1
+}
+
+// hookedProblem wraps sortProblem and records engine hook invocations to
+// verify the incremental-state contract.
+type hookedProblem struct {
+	sortProblem
+	swaps      int
+	resets     int
+	lastSwapOK bool
+}
+
+func (h *hookedProblem) ExecutedSwap(cfg []int, i, j int) {
+	h.swaps++
+	// By contract cfg has already been swapped when the hook fires.
+	h.lastSwapOK = perm.IsPermutation(cfg)
+}
+
+func (h *hookedProblem) Reset(cfg []int, r *rng.Rand) int {
+	h.resets++
+	perm.RandomSwaps(cfg, 2, r)
+	return h.Cost(cfg)
+}
+
+// tunedProblem verifies TunedOptions plumbing.
+type tunedProblem struct{ sortProblem }
+
+func (tunedProblem) Tune(o *Options) { o.FreezeLocMin = 42 }
+
+func TestSolveSortProblem(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10, 50, 200} {
+		res, err := Solve(context.Background(), sortProblem{n}, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.Solved {
+			t.Fatalf("n=%d: not solved: %v", n, res)
+		}
+		if res.Cost != 0 {
+			t.Fatalf("n=%d: solved but cost=%d", n, res.Cost)
+		}
+		for i, v := range res.Solution {
+			if v != i {
+				t.Fatalf("n=%d: solution is not identity: %v", n, res.Solution)
+			}
+		}
+	}
+}
+
+func TestSolveDeterministicForSeed(t *testing.T) {
+	a, err := Solve(context.Background(), sortProblem{30}, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(context.Background(), sortProblem{30}, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations != b.Iterations || a.Swaps != b.Swaps || a.Resets != b.Resets {
+		t.Fatalf("same seed gave different traces: %v vs %v", a, b)
+	}
+}
+
+func TestSolveSeedsDiffer(t *testing.T) {
+	// Different seeds should (almost surely) take different trajectories
+	// on a size-50 instance.
+	a, _ := Solve(context.Background(), sortProblem{50}, Options{Seed: 1})
+	b, _ := Solve(context.Background(), sortProblem{50}, Options{Seed: 2})
+	if a.Iterations == b.Iterations && a.Swaps == b.Swaps {
+		t.Skip("seeds coincided; astronomically unlikely but not an error")
+	}
+}
+
+func TestInitialConfigSolution(t *testing.T) {
+	n := 10
+	res, err := Solve(context.Background(), sortProblem{n}, Options{
+		Seed:          3,
+		InitialConfig: perm.Identity(n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Iterations != 0 {
+		t.Fatalf("starting at the solution should solve in 0 iterations: %v", res)
+	}
+}
+
+func TestInitialConfigInvalid(t *testing.T) {
+	_, err := Solve(context.Background(), sortProblem{3}, Options{InitialConfig: []int{0, 0, 1}})
+	if err == nil {
+		t.Fatal("invalid InitialConfig accepted")
+	}
+	_, err = Solve(context.Background(), sortProblem{3}, Options{InitialConfig: []int{0, 1}})
+	if err == nil {
+		t.Fatal("wrong-length InitialConfig accepted")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	bad := []Options{
+		{ProbSelectLocMin: -0.5},
+		{ProbSelectLocMin: 1.5},
+		{ResetFraction: 2},
+		{MaxIterations: -1},
+		{FreezeLocMin: -2},
+		{MaxRuns: -1},
+	}
+	for i, o := range bad {
+		if _, err := Solve(context.Background(), sortProblem{5}, o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestBudgetExhaustionAndRestarts(t *testing.T) {
+	res, err := Solve(context.Background(), stuckProblem{8}, Options{
+		Seed:          1,
+		MaxIterations: 50,
+		MaxRuns:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatal("stuckProblem cannot be solved")
+	}
+	if res.Restarts != 3 {
+		t.Fatalf("Restarts = %d, want 3", res.Restarts)
+	}
+	if res.Iterations != 4*50 {
+		t.Fatalf("Iterations = %d, want 200 (4 runs x 50)", res.Iterations)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("unsolved Cost = %d, want best-seen 1", res.Cost)
+	}
+	if res.Solution != nil {
+		t.Fatal("unsolved result must not carry a solution")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must stop at the first poll
+	res, err := Solve(ctx, stuckProblem{8}, Options{Seed: 1, CheckEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatalf("cancelled context did not interrupt: %v", res)
+	}
+	if res.Iterations > 4 {
+		t.Fatalf("interrupted run took %d iterations, want <= 4", res.Iterations)
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Solve(ctx, stuckProblem{16}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("timeout did not interrupt unlimited-restart run")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("run overshot its deadline grossly")
+	}
+}
+
+func TestNilContext(t *testing.T) {
+	res, err := Solve(nil, sortProblem{5}, Options{Seed: 1}) //nolint:staticcheck // nil ctx is part of the API contract
+	if err != nil || !res.Solved {
+		t.Fatalf("nil context should behave as Background: %v %v", res, err)
+	}
+}
+
+func TestHooksInvoked(t *testing.T) {
+	h := &hookedProblem{sortProblem: sortProblem{40}}
+	res, err := Solve(context.Background(), h, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("not solved: %v", res)
+	}
+	if int64(h.swaps) != res.Swaps {
+		t.Fatalf("ExecutedSwap fired %d times, engine reports %d swaps", h.swaps, res.Swaps)
+	}
+	if h.swaps > 0 && !h.lastSwapOK {
+		t.Fatal("cfg was not a permutation inside ExecutedSwap")
+	}
+}
+
+func TestResetHandlerInvoked(t *testing.T) {
+	// pitProblem forces constant strict local minima, so resets must
+	// occur.
+	rh := &resetCounter{inner: pitProblem{10}}
+	res, err := Solve(context.Background(), rh, Options{
+		Seed:          2,
+		MaxIterations: 500,
+		MaxRuns:       1,
+		ResetLimit:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resets == 0 {
+		t.Fatalf("no resets on a problem that is all local minima: %v", res)
+	}
+	if int64(rh.resets) != res.Resets {
+		t.Fatalf("ResetHandler fired %d times, engine reports %d", rh.resets, res.Resets)
+	}
+}
+
+// resetCounter decorates a Problem with a counting ResetHandler.
+type resetCounter struct {
+	inner  Problem
+	resets int
+}
+
+func (r *resetCounter) Size() int                           { return r.inner.Size() }
+func (r *resetCounter) Cost(cfg []int) int                  { return r.inner.Cost(cfg) }
+func (r *resetCounter) CostOnVariable(cfg []int, i int) int { return r.inner.CostOnVariable(cfg, i) }
+func (r *resetCounter) CostIfSwap(cfg []int, c, i, j int) int {
+	return r.inner.CostIfSwap(cfg, c, i, j)
+}
+func (r *resetCounter) Reset(cfg []int, rnd *rng.Rand) int {
+	r.resets++
+	perm.PartialShuffle(cfg, 4, rnd)
+	return r.inner.Cost(cfg)
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	res, err := Solve(context.Background(), sortProblem{0}, Options{})
+	if err != nil || !res.Solved {
+		t.Fatalf("n=0: %v %v", res, err)
+	}
+	res, err = Solve(context.Background(), sortProblem{1}, Options{})
+	if err != nil || !res.Solved {
+		t.Fatalf("n=1: %v %v", res, err)
+	}
+	res, err = Solve(context.Background(), stuckProblem{1}, Options{})
+	if err != nil || res.Solved || res.Cost != 1 {
+		t.Fatalf("unsolvable n=1: %v %v", res, err)
+	}
+}
+
+func TestTunedOptions(t *testing.T) {
+	o := TunedOptions(tunedProblem{sortProblem{10}})
+	if o.FreezeLocMin != 42 {
+		t.Fatalf("Tune not applied: FreezeLocMin = %d", o.FreezeLocMin)
+	}
+	if o.MaxIterations == 0 {
+		t.Fatal("defaults not applied before Tune")
+	}
+	// A problem without Tune gets plain defaults.
+	o2 := TunedOptions(sortProblem{10})
+	if o2.FreezeLocMin != 5 {
+		t.Fatalf("default FreezeLocMin = %d, want 5", o2.FreezeLocMin)
+	}
+}
+
+func TestFirstBestStillSolves(t *testing.T) {
+	res, err := Solve(context.Background(), sortProblem{60}, Options{Seed: 9, FirstBest: true})
+	if err != nil || !res.Solved {
+		t.Fatalf("FirstBest run failed: %v %v", res, err)
+	}
+}
+
+func TestProbSelectLocMinEscapes(t *testing.T) {
+	// On the floor problem every iteration is a local minimum once the
+	// permutation is sorted; with ProbSelectLocMin = 1 the engine must
+	// take forced moves instead of freezing, so PlateauEscapes > 0 and
+	// Resets == 0.
+	res, err := Solve(context.Background(), floorProblem{sortProblem{12}}, Options{
+		Seed:             4,
+		MaxIterations:    300,
+		MaxRuns:          1,
+		ProbSelectLocMin: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlateauEscapes == 0 {
+		t.Fatalf("no plateau escapes with ProbSelectLocMin=1: %v", res)
+	}
+	if res.Resets != 0 {
+		t.Fatalf("resets happened despite ProbSelectLocMin=1: %v", res)
+	}
+}
+
+func TestUnsolvedReportsBestSeenCost(t *testing.T) {
+	res, err := Solve(context.Background(), floorProblem{sortProblem{10}}, Options{
+		Seed:          6,
+		MaxIterations: 2_000,
+		MaxRuns:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatal("floorProblem cannot reach cost 0")
+	}
+	if res.Cost != 1 {
+		t.Fatalf("best-seen cost = %d, want 1 (the floor)", res.Cost)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, _ := Solve(context.Background(), sortProblem{5}, Options{Seed: 1})
+	s := res.String()
+	if s == "" {
+		t.Fatal("empty Result.String()")
+	}
+}
+
+func TestSolvePropertySolvesAnySeed(t *testing.T) {
+	f := func(seed uint64) bool {
+		res, err := Solve(context.Background(), sortProblem{12}, Options{Seed: seed})
+		return err == nil && res.Solved && perm.IsPermutation(res.Solution)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolutionIsPrivateCopy(t *testing.T) {
+	res, _ := Solve(context.Background(), sortProblem{8}, Options{Seed: 1})
+	res.Solution[0] = 99
+	res2, _ := Solve(context.Background(), sortProblem{8}, Options{Seed: 1})
+	if res2.Solution[0] == 99 {
+		t.Fatal("Solution aliases engine state across calls")
+	}
+}
+
+func BenchmarkSolveSort100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(context.Background(), sortProblem{100}, Options{Seed: uint64(i)})
+		if err != nil || !res.Solved {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package csp provides a small declarative modeling layer on top of the
+// Adaptive Search engine: users state constraints over a permutation of
+// [0, n) and the package compiles them into a core.Problem with cached
+// per-constraint violations and incremental swap deltas.
+//
+// Adaptive Search is advertised in the paper as a generic method
+// applicable to "a large class of constraints (e.g., linear and
+// non-linear arithmetic constraints, symbolic constraints)"; this
+// package is that generic front end. The alpha benchmark
+// (internal/problems) and the custommodel example are built on it.
+package csp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Model is a CSP over a permutation of [0, n). Variable i takes the
+// value cfg[i] + ValueOffset. Add constraints with the Add* methods,
+// then Compile into a core.Problem.
+type Model struct {
+	n           int
+	valueOffset int
+	cons        []constraint
+}
+
+// constraint is the internal representation: linear when fn is nil.
+type constraint struct {
+	name   string
+	vars   []int
+	coeffs []int
+	target int
+	fn     func(vals []int) int
+	weight int
+}
+
+// NewModel returns an empty model over n variables whose values are
+// cfg[i] + valueOffset (use valueOffset=1 for 1-based puzzles).
+func NewModel(n, valueOffset int) *Model {
+	return &Model{n: n, valueOffset: valueOffset}
+}
+
+// N returns the number of variables.
+func (m *Model) N() int { return m.n }
+
+// AddLinearSum adds the constraint Σ coeffs[k]*value(vars[k]) == target.
+// Variables may repeat (e.g. double letters in a word puzzle); coeffs
+// may be nil, meaning all ones. The violation is the absolute deviation.
+func (m *Model) AddLinearSum(name string, vars []int, coeffs []int, target int) {
+	m.cons = append(m.cons, constraint{name: name, vars: vars, coeffs: coeffs, target: target, weight: 1})
+}
+
+// AddCustom adds a constraint whose violation is computed by fn from the
+// values of vars (in order, repetition allowed). fn must return 0 when
+// satisfied and a positive error otherwise, and must not retain vals.
+func (m *Model) AddCustom(name string, vars []int, fn func(vals []int) int) {
+	m.cons = append(m.cons, constraint{name: name, vars: vars, fn: fn, weight: 1})
+}
+
+// AddWeighted is AddCustom with a violation multiplier, letting models
+// prioritize constraints.
+func (m *Model) AddWeighted(name string, vars []int, weight int, fn func(vals []int) int) {
+	m.cons = append(m.cons, constraint{name: name, vars: vars, fn: fn, weight: weight})
+}
+
+// Constraints returns the number of constraints added so far.
+func (m *Model) Constraints() int { return len(m.cons) }
+
+// Compile validates the model and returns a core.Problem with cached
+// violations and incremental swap deltas. The compiled problem keeps
+// mutable caches and must not be shared between goroutines; compile one
+// instance per walker.
+func (m *Model) Compile() (*Compiled, error) {
+	if m.n < 1 {
+		return nil, fmt.Errorf("csp: model needs at least 1 variable, has %d", m.n)
+	}
+	if len(m.cons) == 0 {
+		return nil, fmt.Errorf("csp: model has no constraints")
+	}
+	byVar := make([][]int32, m.n)
+	maxVars := 0
+	for ci, c := range m.cons {
+		if len(c.vars) == 0 {
+			return nil, fmt.Errorf("csp: constraint %q has no variables", c.name)
+		}
+		if c.fn == nil && c.coeffs != nil && len(c.coeffs) != len(c.vars) {
+			return nil, fmt.Errorf("csp: constraint %q has %d coeffs for %d vars", c.name, len(c.coeffs), len(c.vars))
+		}
+		if c.weight <= 0 {
+			return nil, fmt.Errorf("csp: constraint %q has non-positive weight %d", c.name, c.weight)
+		}
+		seen := map[int]bool{}
+		for _, v := range c.vars {
+			if v < 0 || v >= m.n {
+				return nil, fmt.Errorf("csp: constraint %q references variable %d outside [0,%d)", c.name, v, m.n)
+			}
+			if !seen[v] {
+				seen[v] = true
+				byVar[v] = append(byVar[v], int32(ci))
+			}
+		}
+		if len(c.vars) > maxVars {
+			maxVars = len(c.vars)
+		}
+	}
+	return &Compiled{
+		model:   m,
+		byVar:   byVar,
+		viol:    make([]int, len(m.cons)),
+		stamp:   make([]int64, len(m.cons)),
+		touched: make([]int32, 0, len(m.cons)),
+		vals:    make([]int, maxVars),
+	}, nil
+}
+
+// Compiled is a core.Problem produced by Model.Compile. It caches one
+// violation per constraint and updates only the constraints touching a
+// swapped variable, so CostIfSwap costs O(size of affected constraints).
+type Compiled struct {
+	model *Model
+	byVar [][]int32
+	viol  []int
+
+	// stamp/touched implement allocation-free dedup of the constraints
+	// affected by a swap; gen increments per query.
+	stamp   []int64
+	touched []int32
+	gen     int64
+
+	vals []int
+}
+
+var _ core.Problem = (*Compiled)(nil)
+var _ core.SwapExecutor = (*Compiled)(nil)
+
+// Size implements core.Problem.
+func (p *Compiled) Size() int { return p.model.n }
+
+// Name implements core.Namer.
+func (p *Compiled) Name() string { return "csp-model" }
+
+// violationOf computes the violation of constraint ci under cfg.
+func (p *Compiled) violationOf(ci int, cfg []int) int {
+	c := &p.model.cons[ci]
+	if c.fn != nil {
+		vals := p.vals[:len(c.vars)]
+		for k, v := range c.vars {
+			vals[k] = cfg[v] + p.model.valueOffset
+		}
+		return c.weight * c.fn(vals)
+	}
+	sum := 0
+	if c.coeffs == nil {
+		for _, v := range c.vars {
+			sum += cfg[v] + p.model.valueOffset
+		}
+	} else {
+		for k, v := range c.vars {
+			sum += c.coeffs[k] * (cfg[v] + p.model.valueOffset)
+		}
+	}
+	d := sum - c.target
+	if d < 0 {
+		d = -d
+	}
+	return c.weight * d
+}
+
+// Cost implements core.Problem, rebuilding every cached violation.
+func (p *Compiled) Cost(cfg []int) int {
+	total := 0
+	for ci := range p.model.cons {
+		v := p.violationOf(ci, cfg)
+		p.viol[ci] = v
+		total += v
+	}
+	return total
+}
+
+// CostOnVariable implements core.Problem: the sum of cached violations
+// of the constraints mentioning variable i.
+func (p *Compiled) CostOnVariable(cfg []int, i int) int {
+	e := 0
+	for _, ci := range p.byVar[i] {
+		e += p.viol[ci]
+	}
+	return e
+}
+
+// affected collects the distinct constraints touching i or j into
+// p.touched using the generation-stamp trick.
+func (p *Compiled) affected(i, j int) []int32 {
+	p.gen++
+	p.touched = p.touched[:0]
+	for _, ci := range p.byVar[i] {
+		if p.stamp[ci] != p.gen {
+			p.stamp[ci] = p.gen
+			p.touched = append(p.touched, ci)
+		}
+	}
+	for _, ci := range p.byVar[j] {
+		if p.stamp[ci] != p.gen {
+			p.stamp[ci] = p.gen
+			p.touched = append(p.touched, ci)
+		}
+	}
+	return p.touched
+}
+
+// CostIfSwap implements core.Problem. It swaps cfg temporarily; the
+// compiled problem is documented as single-goroutine, so the transient
+// mutation is invisible.
+func (p *Compiled) CostIfSwap(cfg []int, cost, i, j int) int {
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	for _, ci := range p.affected(i, j) {
+		cost += p.violationOf(int(ci), cfg) - p.viol[ci]
+	}
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	return cost
+}
+
+// ExecutedSwap implements core.SwapExecutor: cfg is already swapped;
+// refresh the cached violations of the affected constraints.
+func (p *Compiled) ExecutedSwap(cfg []int, i, j int) {
+	for _, ci := range p.affected(i, j) {
+		p.viol[ci] = p.violationOf(int(ci), cfg)
+	}
+}
+
+// Violations returns a copy of the per-constraint violations as of the
+// last Cost/ExecutedSwap, labelled by constraint name. Diagnostic: used
+// by the CLI's -explain flag and by tests.
+func (p *Compiled) Violations() map[string]int {
+	out := make(map[string]int, len(p.viol))
+	for ci, v := range p.viol {
+		out[p.model.cons[ci].name] = v
+	}
+	return out
+}

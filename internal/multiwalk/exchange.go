@@ -1,0 +1,91 @@
+package multiwalk
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+// exchangeBoard is the shared state of the dependent multiple-walk
+// scheme: the best cost seen by any walker and the configuration that
+// achieved it. Communication is intentionally minimal — the paper's
+// design goals for the dependent scheme are (1) minimal data transfer
+// and (2) reuse of interesting crossroads as restart points.
+type exchangeBoard struct {
+	mu       sync.Mutex
+	bestCost int
+	bestCfg  []int
+	valid    bool
+}
+
+func newExchangeBoard() *exchangeBoard {
+	return &exchangeBoard{}
+}
+
+// publish offers a (cost, cfg) pair to the board; the board keeps it if
+// it improves on the current best.
+func (b *exchangeBoard) publish(cost int, cfg []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.valid || cost < b.bestCost {
+		b.bestCost = cost
+		if b.bestCfg == nil {
+			b.bestCfg = make([]int, len(cfg))
+		}
+		copy(b.bestCfg, cfg)
+		b.valid = true
+	}
+}
+
+// snapshot returns the best cost and a copy of the best configuration.
+func (b *exchangeBoard) snapshot() (cost int, cfg []int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.valid {
+		return 0, nil, false
+	}
+	out := make([]int, len(b.bestCfg))
+	copy(out, b.bestCfg)
+	return b.bestCost, out, true
+}
+
+// monitor returns the engine Monitor implementing the exchange policy
+// for one walker: every Period iterations, publish my state; if my cost
+// is AdoptFactor times worse than the board's best, teleport to a
+// perturbed copy of the elite configuration.
+func (b *exchangeBoard) monitor(stat *WalkerStat, x ExchangeOptions, n int, seed uint64) func(int64, int, []int) core.Directive {
+	r := rng.New(seed ^ 0x9e3779b97f4a7c15) // walker-private perturbation stream
+	perturb := x.PerturbSwaps
+	if perturb == 0 {
+		perturb = n / 16
+		if perturb < 2 {
+			perturb = 2
+		}
+	}
+	var lastCheck int64
+	return func(iter int64, cost int, cfg []int) core.Directive {
+		if iter-lastCheck < x.Period {
+			return core.Directive{}
+		}
+		lastCheck = iter
+		b.publish(cost, cfg)
+		best, elite, ok := b.snapshot()
+		if !ok || elite == nil {
+			return core.Directive{}
+		}
+		// Adopt only when clearly lagging; cost==0 cannot be lagging.
+		if best > 0 && float64(cost) > x.AdoptFactor*float64(best) {
+			perm.RandomSwaps(elite, perturb, r)
+			stat.Adoptions++
+			return core.Directive{SetConfig: elite}
+		}
+		if best == 0 && cost > 0 {
+			// Someone already solved; stop wasting work (Run's cancel
+			// will also arrive, but this is faster and deterministic).
+			return core.Directive{Stop: true}
+		}
+		return core.Directive{}
+	}
+}

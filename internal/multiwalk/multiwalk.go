@@ -1,0 +1,301 @@
+// Package multiwalk implements the paper's primary contribution: the
+// parallel execution of Adaptive Search in a multiple independent-walk
+// manner. k search engines start from different random configurations
+// and run with no communication except completion detection — the first
+// walker to find a solution cancels the rest.
+//
+// Two execution modes are provided:
+//
+//   - Run launches one goroutine per walker and measures real wall-clock
+//     behaviour; it is the production API and matches the paper's MPI
+//     deployment one-to-one (goroutine = MPI process, context
+//     cancellation = the paper's termination detection).
+//   - RunVirtual executes the same independent walks sequentially to
+//     completion and determines the winner by iteration count. It is
+//     deterministic and hardware-independent, and is what the experiment
+//     harness uses to reproduce the paper's figures on any machine (see
+//     DESIGN.md §2: walk durations in iterations feed the platform
+//     simulator).
+//
+// The package also implements the paper's future-work section — the
+// dependent multiple-walk scheme with inter-process communication — as
+// an opt-in Exchange policy: walkers periodically publish their cost to
+// a shared board and laggards teleport to a perturbed copy of the best
+// configuration. The paper conjectures (and EXP-A1 confirms) that this
+// is hard pressed to beat the independent scheme.
+package multiwalk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Factory builds a fresh, independent core.Problem per walker. Problem
+// encodings cache incremental state, so walkers must never share one
+// instance. problems.NewFactory returns compatible values.
+type Factory = func() (core.Problem, error)
+
+// Options configures a multi-walk run.
+type Options struct {
+	// Walkers is the number of parallel walks k (the paper's core
+	// count). Must be >= 1.
+	Walkers int
+
+	// Seed seeds the master stream from which every walker derives an
+	// independent RNG stream; a run is reproducible given (problem,
+	// options, seed) — exactly reproducible for RunVirtual, and up to
+	// OS scheduling for the wall-clock winner of Run.
+	Seed uint64
+
+	// Engine holds the per-walker engine options (its Seed and Monitor
+	// fields are overridden by the multi-walk driver).
+	Engine core.Options
+
+	// Exchange enables the dependent multi-walk scheme. The zero value
+	// keeps walks fully independent, as in the paper's experiments.
+	Exchange ExchangeOptions
+}
+
+// ExchangeOptions tunes the dependent multiple-walk communication
+// scheme (the paper's §3). Communication is deliberately tiny — one
+// best-cost integer and, on adoption, one configuration copy — honoring
+// the paper's goal of minimizing data transfers.
+type ExchangeOptions struct {
+	// Enabled turns on communication.
+	Enabled bool
+	// Period is the number of engine iterations between board checks
+	// (rounded up to the engine's CheckEvery granularity). 0 selects
+	// 1024.
+	Period int64
+	// AdoptFactor: a walker whose cost exceeds AdoptFactor times the
+	// board's best cost teleports to a perturbed elite configuration.
+	// 0 selects 2.0.
+	AdoptFactor float64
+	// PerturbSwaps is the number of random transpositions applied to an
+	// adopted elite configuration, keeping walkers diverse. 0 selects
+	// max(2, n/16).
+	PerturbSwaps int
+}
+
+// WalkerStat reports one walker's outcome.
+type WalkerStat struct {
+	// Walker is the walker index in [0, k).
+	Walker int
+	// Result is the walker's engine result. In Run, losers are usually
+	// Interrupted; in RunVirtual every walker runs to completion.
+	Result core.Result
+	// Adoptions counts elite-configuration adoptions (dependent mode).
+	Adoptions int64
+}
+
+// Result aggregates a multi-walk run.
+type Result struct {
+	// Solved reports whether any walker found a solution.
+	Solved bool
+	// Winner is the index of the winning walker, or -1.
+	Winner int
+	// Solution is the winning configuration (nil if unsolved).
+	Solution []int
+	// WinnerIterations is the winning walker's iteration count — the
+	// machine-independent parallel cost of the run, min_k(iters) for
+	// RunVirtual.
+	WinnerIterations int64
+	// TotalIterations sums iterations across all walkers (the parallel
+	// work, as opposed to the parallel time).
+	TotalIterations int64
+	// Walkers holds per-walker statistics, indexed by walker.
+	Walkers []WalkerStat
+	// Elapsed is the wall-clock duration of the whole call.
+	Elapsed time.Duration
+}
+
+// validate normalizes and checks options against a probe instance.
+func (o *Options) validate() error {
+	if o.Walkers < 1 {
+		return fmt.Errorf("multiwalk: Walkers must be >= 1, got %d", o.Walkers)
+	}
+	if o.Exchange.Enabled {
+		if o.Exchange.Period == 0 {
+			o.Exchange.Period = 1024
+		}
+		if o.Exchange.Period < 0 {
+			return errors.New("multiwalk: Exchange.Period must be >= 0")
+		}
+		if o.Exchange.AdoptFactor == 0 {
+			o.Exchange.AdoptFactor = 2.0
+		}
+		if o.Exchange.AdoptFactor < 1 {
+			return errors.New("multiwalk: Exchange.AdoptFactor must be >= 1")
+		}
+		if o.Exchange.PerturbSwaps < 0 {
+			return errors.New("multiwalk: Exchange.PerturbSwaps must be >= 0")
+		}
+	}
+	return nil
+}
+
+// Run executes k independent walks concurrently, one goroutine per
+// walker, cancelling the others as soon as a solution is found ("no
+// communication between the simultaneous computations except for
+// completion"). The context bounds the whole run.
+func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if factory == nil {
+		return Result{}, errors.New("multiwalk: nil factory")
+	}
+
+	seeds := walkerSeeds(opts.Seed, opts.Walkers)
+	var board *exchangeBoard
+	if opts.Exchange.Enabled {
+		board = newExchangeBoard()
+	}
+
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	stats := make([]WalkerStat, opts.Walkers)
+	errs := make([]error, opts.Walkers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Walkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stat, err := runWalker(runCtx, factory, opts, w, seeds[w], board)
+			stats[w] = stat
+			errs[w] = err
+			if err == nil && stat.Result.Solved {
+				cancel() // completion detection: first solution wins
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := aggregate(stats, wallClockWinner)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunVirtual executes the same k independent walks sequentially, each to
+// completion, and declares the walker with the fewest iterations the
+// winner — the deterministic, hardware-independent view of the
+// multi-walk execution used by the experiment harness. The context can
+// abort the whole computation; per-walker budgets come from
+// opts.Engine. Exchange (dependent mode) is not supported here, since
+// communication is meaningful only under concurrent execution.
+func RunVirtual(ctx context.Context, factory Factory, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Exchange.Enabled {
+		return Result{}, errors.New("multiwalk: RunVirtual does not support Exchange; use Run")
+	}
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if factory == nil {
+		return Result{}, errors.New("multiwalk: nil factory")
+	}
+
+	seeds := walkerSeeds(opts.Seed, opts.Walkers)
+	start := time.Now()
+	stats := make([]WalkerStat, opts.Walkers)
+	for w := 0; w < opts.Walkers; w++ {
+		stat, err := runWalker(ctx, factory, opts, w, seeds[w], nil)
+		if err != nil {
+			return Result{}, err
+		}
+		stats[w] = stat
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	res := aggregate(stats, virtualWinner)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// walkerSeeds derives k independent engine seeds from the master seed.
+func walkerSeeds(seed uint64, k int) []uint64 {
+	master := rng.New(seed)
+	seeds := make([]uint64, k)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	return seeds
+}
+
+// runWalker builds a fresh problem instance and runs one engine.
+func runWalker(ctx context.Context, factory Factory, opts Options, w int, seed uint64, board *exchangeBoard) (WalkerStat, error) {
+	p, err := factory()
+	if err != nil {
+		return WalkerStat{}, fmt.Errorf("multiwalk: walker %d factory: %w", w, err)
+	}
+	eo := opts.Engine
+	eo.Seed = seed
+	stat := WalkerStat{Walker: w}
+	if board != nil {
+		eo.Monitor = board.monitor(&stat, opts.Exchange, p.Size(), seed)
+	} else {
+		eo.Monitor = nil
+	}
+	res, err := core.Solve(ctx, p, eo)
+	if err != nil {
+		return WalkerStat{}, fmt.Errorf("multiwalk: walker %d: %w", w, err)
+	}
+	stat.Result = res
+	return stat, nil
+}
+
+// aggregate folds per-walker stats into a Result using the given winner
+// rule.
+func aggregate(stats []WalkerStat, winner func([]WalkerStat) int) Result {
+	res := Result{Winner: -1, Walkers: stats}
+	for _, s := range stats {
+		res.TotalIterations += s.Result.Iterations
+	}
+	if w := winner(stats); w >= 0 {
+		res.Solved = true
+		res.Winner = w
+		res.Solution = stats[w].Result.Solution
+		res.WinnerIterations = stats[w].Result.Iterations
+	}
+	return res
+}
+
+// wallClockWinner picks the solved walker (post-cancellation there is
+// normally exactly one; ties broken by lowest iteration count, then
+// index, for determinism).
+func wallClockWinner(stats []WalkerStat) int {
+	return virtualWinner(stats)
+}
+
+// virtualWinner picks the solved walker with the fewest iterations.
+func virtualWinner(stats []WalkerStat) int {
+	best := -1
+	for i, s := range stats {
+		if !s.Result.Solved {
+			continue
+		}
+		if best < 0 || s.Result.Iterations < stats[best].Result.Iterations {
+			best = i
+		}
+	}
+	return best
+}

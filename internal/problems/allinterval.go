@@ -1,0 +1,200 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register(builder{
+		name:        "all-interval",
+		description: "All-Interval Series: order 0..n-1 so the n-1 adjacent differences are all distinct (CSPLib prob007)",
+		defaultSize: 24,
+		paperSize:   700,
+		build:       func(n int) (core.Problem, error) { return NewAllInterval(n) },
+	})
+}
+
+// AllInterval encodes CSPLib prob007: find a permutation s of {0..n-1}
+// such that the absolute differences |s[i+1]-s[i]| form a permutation of
+// {1..n-1} (an "all-interval series" in musical composition). Following
+// the C benchmark, the cost weights each missing difference by its
+// magnitude: cost = Σ_{d: occ(d)=0} d, which is 0 exactly when all n-1
+// differences are distinct and steers the search toward realizing the
+// scarce large distances first (an unweighted surplus count leaves the
+// engine directionless — see DESIGN.md §6). The encoding caches the
+// occurrence table; a swap touches at most four adjacent differences,
+// giving O(1) deltas.
+type AllInterval struct {
+	n   int
+	occ []int // occ[d] = number of adjacent pairs with difference d
+}
+
+// NewAllInterval returns an instance with n variables; n must be >= 2.
+func NewAllInterval(n int) (*AllInterval, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("all-interval: size must be >= 2, got %d", n)
+	}
+	return &AllInterval{n: n, occ: make([]int, n)}, nil
+}
+
+// Name implements core.Namer.
+func (a *AllInterval) Name() string { return "all-interval" }
+
+// Size implements core.Problem.
+func (a *AllInterval) Size() int { return a.n }
+
+// Cost implements core.Problem, rebuilding the occurrence table.
+func (a *AllInterval) Cost(cfg []int) int {
+	for d := range a.occ {
+		a.occ[d] = 0
+	}
+	for i := 0; i+1 < len(cfg); i++ {
+		a.occ[abs(cfg[i+1]-cfg[i])]++
+	}
+	cost := 0
+	for d := 1; d < a.n; d++ {
+		if a.occ[d] == 0 {
+			cost += d
+		}
+	}
+	return cost
+}
+
+// CostOnVariable implements core.Problem: a variable's error is the
+// number of its adjacent differences that are duplicated.
+func (a *AllInterval) CostOnVariable(cfg []int, i int) int {
+	e := 0
+	if i > 0 {
+		if a.occ[abs(cfg[i]-cfg[i-1])] > 1 {
+			e++
+		}
+	}
+	if i+1 < len(cfg) {
+		if a.occ[abs(cfg[i+1]-cfg[i])] > 1 {
+			e++
+		}
+	}
+	return e
+}
+
+// edgesOf collects the distinct difference-edge indices adjacent to
+// positions i and j into buf (an edge e is the pair (e, e+1)). Returns
+// the number of edges written.
+func (a *AllInterval) edgesOf(i, j int, buf *[4]int) int {
+	n := 0
+	add := func(e int) {
+		if e < 0 || e+1 >= a.n {
+			return
+		}
+		for k := 0; k < n; k++ {
+			if buf[k] == e {
+				return
+			}
+		}
+		buf[n] = e
+		n++
+	}
+	add(i - 1)
+	add(i)
+	add(j - 1)
+	add(j)
+	return n
+}
+
+// CostIfSwap implements core.Problem. It temporarily mutates the cached
+// occurrence table and rolls it back before returning; instances are
+// never shared across goroutines (see the package comment), so the
+// transient mutation is invisible to callers.
+func (a *AllInterval) CostIfSwap(cfg []int, cost, i, j int) int {
+	var edges [4]int
+	ne := a.edgesOf(i, j, &edges)
+	var olds, news [4]int
+	// Remove the old differences of all affected edges: a difference
+	// whose count drops to zero adds its magnitude to the cost.
+	for k := 0; k < ne; k++ {
+		e := edges[k]
+		d := abs(cfg[e+1] - cfg[e])
+		olds[k] = d
+		a.occ[d]--
+		if a.occ[d] == 0 {
+			cost += d
+		}
+	}
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	// Add the new differences: realizing a missing difference removes
+	// its magnitude from the cost.
+	for k := 0; k < ne; k++ {
+		e := edges[k]
+		d := abs(cfg[e+1] - cfg[e])
+		news[k] = d
+		if a.occ[d] == 0 {
+			cost -= d
+		}
+		a.occ[d]++
+	}
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	// Roll back the occurrence table.
+	for k := 0; k < ne; k++ {
+		a.occ[news[k]]--
+		a.occ[olds[k]]++
+	}
+	return cost
+}
+
+// ExecutedSwap implements core.SwapExecutor: cfg is already swapped;
+// replay the edge updates permanently. The pre-swap configuration is
+// recovered by swapping back temporarily.
+func (a *AllInterval) ExecutedSwap(cfg []int, i, j int) {
+	var edges [4]int
+	ne := a.edgesOf(i, j, &edges)
+	cfg[i], cfg[j] = cfg[j], cfg[i] // back to pre-swap
+	for k := 0; k < ne; k++ {
+		e := edges[k]
+		a.occ[abs(cfg[e+1]-cfg[e])]--
+	}
+	cfg[i], cfg[j] = cfg[j], cfg[i] // forward again
+	for k := 0; k < ne; k++ {
+		e := edges[k]
+		a.occ[abs(cfg[e+1]-cfg[e])]++
+	}
+}
+
+// Tune implements core.Tuner with the C benchmark's character: a strong
+// probabilistic plateau escape works well on this very plateau-heavy
+// landscape.
+func (a *AllInterval) Tune(o *core.Options) {
+	o.ProbSelectLocMin = 0.66
+	o.FreezeLocMin = 1
+	o.ResetLimit = a.n / 6
+	if o.ResetLimit < 2 {
+		o.ResetLimit = 2
+	}
+	o.ResetFraction = 0.25
+	o.MaxIterations = int64(a.n) * int64(a.n) * 20
+}
+
+// Verify independently checks cfg: a permutation whose n-1 adjacent
+// absolute differences are pairwise distinct.
+func (a *AllInterval) Verify(cfg []int) bool {
+	if len(cfg) != a.n {
+		return false
+	}
+	seenV := make([]bool, a.n)
+	for _, v := range cfg {
+		if v < 0 || v >= a.n || seenV[v] {
+			return false
+		}
+		seenV[v] = true
+	}
+	seenD := make([]bool, a.n)
+	for i := 0; i+1 < a.n; i++ {
+		d := abs(cfg[i+1] - cfg[i])
+		if d == 0 || seenD[d] {
+			return false
+		}
+		seenD[d] = true
+	}
+	return true
+}

@@ -1,0 +1,206 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register(builder{
+		name:        "costas",
+		description: "Costas Array Problem: n marks, one per row/column, with all n(n-1)/2 displacement vectors distinct",
+		defaultSize: 14,
+		paperSize:   22,
+		build:       func(n int) (core.Problem, error) { return NewCostas(n) },
+	})
+}
+
+// Costas encodes the Costas Array Problem. The configuration is the
+// permutation view of the array: cfg[i] is the row of the mark in
+// column i. A Costas array requires that within every horizontal
+// distance d (1 <= d < n) the differences cfg[i+d]-cfg[i] are pairwise
+// distinct — equivalently, all displacement vectors between marks are
+// distinct. The cost counts surplus equal differences per distance:
+//
+//	cost = Σ_d Σ_v max(0, occ_d(v) - 1)
+//
+// The encoding caches the (n-1) x (2n-1) difference-occurrence table;
+// a swap touches the O(n) pairs involving the two swapped columns.
+// This mirrors the error function of the Diaz et al. Costas study the
+// paper cites as [4].
+type Costas struct {
+	n   int
+	occ [][]int16 // occ[d-1][diff+n-1] for d in 1..n-1
+}
+
+// NewCostas returns a Costas instance of order n; n must be >= 1.
+// (Orders 32 and 33 are famously unsolvable, but no small order the
+// solver is used on lacks solutions.)
+func NewCostas(n int) (*Costas, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("costas: order must be >= 1, got %d", n)
+	}
+	occ := make([][]int16, n-1)
+	for d := range occ {
+		occ[d] = make([]int16, 2*n-1)
+	}
+	return &Costas{n: n, occ: occ}, nil
+}
+
+// Name implements core.Namer.
+func (c *Costas) Name() string { return "costas" }
+
+// Size implements core.Problem.
+func (c *Costas) Size() int { return c.n }
+
+// Cost implements core.Problem, rebuilding the difference table.
+func (c *Costas) Cost(cfg []int) int {
+	for d := range c.occ {
+		row := c.occ[d]
+		for v := range row {
+			row[v] = 0
+		}
+	}
+	cost := 0
+	n := c.n
+	for lo := 0; lo < n; lo++ {
+		for hi := lo + 1; hi < n; hi++ {
+			d := hi - lo - 1
+			v := cfg[hi] - cfg[lo] + n - 1
+			if c.occ[d][v] > 0 {
+				cost++
+			}
+			c.occ[d][v]++
+		}
+	}
+	return cost
+}
+
+// CostOnVariable implements core.Problem: the number of duplicated
+// displacement vectors involving column i.
+func (c *Costas) CostOnVariable(cfg []int, i int) int {
+	e := 0
+	n := c.n
+	for q := 0; q < n; q++ {
+		if q == i {
+			continue
+		}
+		lo, hi := i, q
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if c.occ[hi-lo-1][cfg[hi]-cfg[lo]+n-1] > 1 {
+			e++
+		}
+	}
+	return e
+}
+
+// forEachAffectedPair visits every column pair involving i or j exactly
+// once as (lo, hi) with lo < hi.
+func (c *Costas) forEachAffectedPair(i, j int, f func(lo, hi int)) {
+	for q := 0; q < c.n; q++ {
+		if q == i {
+			continue
+		}
+		if q < i {
+			f(q, i)
+		} else {
+			f(i, q)
+		}
+	}
+	for q := 0; q < c.n; q++ {
+		if q == j || q == i {
+			continue
+		}
+		if q < j {
+			f(q, j)
+		} else {
+			f(j, q)
+		}
+	}
+}
+
+// CostIfSwap implements core.Problem by a remove/re-add pass over the
+// O(n) affected pairs, rolled back before returning. Instances are
+// single-goroutine (see package comment), so the transient mutation of
+// the cached table is invisible to callers.
+func (c *Costas) CostIfSwap(cfg []int, cost, i, j int) int {
+	n := c.n
+	// Remove the affected pairs' current differences.
+	c.forEachAffectedPair(i, j, func(lo, hi int) {
+		d, v := hi-lo-1, cfg[hi]-cfg[lo]+n-1
+		if c.occ[d][v] > 1 {
+			cost--
+		}
+		c.occ[d][v]--
+	})
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	// Add the post-swap differences.
+	c.forEachAffectedPair(i, j, func(lo, hi int) {
+		d, v := hi-lo-1, cfg[hi]-cfg[lo]+n-1
+		if c.occ[d][v] > 0 {
+			cost++
+		}
+		c.occ[d][v]++
+	})
+	newCost := cost
+	// Roll everything back.
+	c.forEachAffectedPair(i, j, func(lo, hi int) {
+		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+n-1]--
+	})
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	c.forEachAffectedPair(i, j, func(lo, hi int) {
+		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+n-1]++
+	})
+	return newCost
+}
+
+// ExecutedSwap implements core.SwapExecutor: cfg arrives already
+// swapped; rebuild the table entries of the affected pairs.
+func (c *Costas) ExecutedSwap(cfg []int, i, j int) {
+	// Undo to the pre-swap view to remove the old differences.
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	c.forEachAffectedPair(i, j, func(lo, hi int) {
+		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+c.n-1]--
+	})
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	c.forEachAffectedPair(i, j, func(lo, hi int) {
+		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+c.n-1]++
+	})
+}
+
+// Tune implements core.Tuner. Costas landscapes reward frequent resets
+// of a small magnitude (the settings follow the C benchmark's spirit).
+func (c *Costas) Tune(o *core.Options) {
+	o.FreezeLocMin = 1
+	o.ResetLimit = 1
+	o.ResetFraction = 0.05
+	o.MaxIterations = int64(c.n) * 10_000
+}
+
+// Verify independently checks that cfg is a Costas array of order n.
+func (c *Costas) Verify(cfg []int) bool {
+	if len(cfg) != c.n {
+		return false
+	}
+	seen := make([]bool, c.n)
+	for _, v := range cfg {
+		if v < 0 || v >= c.n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for d := 1; d < c.n; d++ {
+		diffs := map[int]bool{}
+		for i := 0; i+d < c.n; i++ {
+			v := cfg[i+d] - cfg[i]
+			if diffs[v] {
+				return false
+			}
+			diffs[v] = true
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register(builder{
+		name:        "magic-square",
+		description: "Magic Square: fill an n x n grid with 1..n^2 so rows, columns and diagonals share one sum (CSPLib prob019)",
+		defaultSize: 10,
+		paperSize:   100,
+		build:       func(n int) (core.Problem, error) { return NewMagicSquare(n) },
+	})
+}
+
+// MagicSquare encodes CSPLib prob019. The configuration is a permutation
+// of [0, n*n); cell k of the row-major grid holds value cfg[k]+1. The
+// constraints require every row, every column and both main diagonals to
+// sum to the magic constant M = n(n^2+1)/2. The cost is the sum of the
+// absolute deviations of all 2n+2 line sums, and the encoding caches the
+// line sums for O(1) swap deltas, as the C benchmark does.
+type MagicSquare struct {
+	side int // n: the side of the grid; Size() is n*n
+	m    int // magic constant
+	row  []int
+	col  []int
+	d1   int // main diagonal (r == c)
+	d2   int // anti-diagonal (r + c == n-1)
+}
+
+// NewMagicSquare returns an instance with side n (n*n variables).
+// n must be at least 1; n = 2 has no solution and is rejected.
+func NewMagicSquare(n int) (*MagicSquare, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("magic-square: side must be >= 1, got %d", n)
+	}
+	if n == 2 {
+		return nil, fmt.Errorf("magic-square: no 2x2 magic square exists")
+	}
+	return &MagicSquare{
+		side: n,
+		m:    n * (n*n + 1) / 2,
+		row:  make([]int, n),
+		col:  make([]int, n),
+	}, nil
+}
+
+// Name implements core.Namer.
+func (ms *MagicSquare) Name() string { return "magic-square" }
+
+// Side returns the grid side n.
+func (ms *MagicSquare) Side() int { return ms.side }
+
+// Size implements core.Problem: the number of cells, n*n.
+func (ms *MagicSquare) Size() int { return ms.side * ms.side }
+
+// Cost implements core.Problem, rebuilding all line sums.
+func (ms *MagicSquare) Cost(cfg []int) int {
+	n := ms.side
+	for i := 0; i < n; i++ {
+		ms.row[i] = 0
+		ms.col[i] = 0
+	}
+	ms.d1, ms.d2 = 0, 0
+	for k, raw := range cfg {
+		v := raw + 1
+		r, c := k/n, k%n
+		ms.row[r] += v
+		ms.col[c] += v
+		if r == c {
+			ms.d1 += v
+		}
+		if r+c == n-1 {
+			ms.d2 += v
+		}
+	}
+	cost := abs(ms.d1-ms.m) + abs(ms.d2-ms.m)
+	for i := 0; i < n; i++ {
+		cost += abs(ms.row[i]-ms.m) + abs(ms.col[i]-ms.m)
+	}
+	return cost
+}
+
+// CostOnVariable implements core.Problem: the error projected on cell i
+// is the deviation of the lines through it.
+func (ms *MagicSquare) CostOnVariable(cfg []int, i int) int {
+	n := ms.side
+	r, c := i/n, i%n
+	e := abs(ms.row[r]-ms.m) + abs(ms.col[c]-ms.m)
+	if r == c {
+		e += abs(ms.d1 - ms.m)
+	}
+	if r+c == n-1 {
+		e += abs(ms.d2 - ms.m)
+	}
+	return e
+}
+
+// lineDelta accumulates the swap's net value change per line. Lines are
+// identified as: 0..n-1 rows, n..2n-1 columns, 2n main diagonal, 2n+1
+// anti-diagonal. A swap touches at most 8 line incidences; shared lines
+// cancel naturally through summation.
+type lineDelta struct {
+	ids    [8]int
+	deltas [8]int
+	n      int
+}
+
+func (ld *lineDelta) add(id, delta int) {
+	for k := 0; k < ld.n; k++ {
+		if ld.ids[k] == id {
+			ld.deltas[k] += delta
+			return
+		}
+	}
+	ld.ids[ld.n] = id
+	ld.deltas[ld.n] = delta
+	ld.n++
+}
+
+// cellLines feeds the lines through cell k (row-major) into ld.
+func (ms *MagicSquare) cellLines(ld *lineDelta, k, delta int) {
+	n := ms.side
+	r, c := k/n, k%n
+	ld.add(r, delta)
+	ld.add(n+c, delta)
+	if r == c {
+		ld.add(2*n, delta)
+	}
+	if r+c == n-1 {
+		ld.add(2*n+1, delta)
+	}
+}
+
+// lineSum returns the cached sum of the identified line.
+func (ms *MagicSquare) lineSum(id int) int {
+	n := ms.side
+	switch {
+	case id < n:
+		return ms.row[id]
+	case id < 2*n:
+		return ms.col[id-n]
+	case id == 2*n:
+		return ms.d1
+	default:
+		return ms.d2
+	}
+}
+
+// CostIfSwap implements core.Problem with an O(1) delta over the at most
+// eight affected line incidences.
+func (ms *MagicSquare) CostIfSwap(cfg []int, cost, i, j int) int {
+	dv := cfg[j] - cfg[i] // value change at cell i; cell j gets -dv
+	var ld lineDelta
+	ms.cellLines(&ld, i, dv)
+	ms.cellLines(&ld, j, -dv)
+	for k := 0; k < ld.n; k++ {
+		if ld.deltas[k] == 0 {
+			continue
+		}
+		s := ms.lineSum(ld.ids[k])
+		cost += abs(s+ld.deltas[k]-ms.m) - abs(s-ms.m)
+	}
+	return cost
+}
+
+// ExecutedSwap implements core.SwapExecutor: cfg is already swapped, so
+// the value now at cell i moved in from cell j.
+func (ms *MagicSquare) ExecutedSwap(cfg []int, i, j int) {
+	dv := cfg[i] - cfg[j] // post-swap: cell i gained cfg[i]-cfg[j]... see below
+	// Pre-swap values: cell i held cfg[j], cell j held cfg[i]. The net
+	// change at cell i is cfg[i]-cfg[j] = dv; at cell j it is -dv.
+	var ld lineDelta
+	ms.cellLines(&ld, i, dv)
+	ms.cellLines(&ld, j, -dv)
+	n := ms.side
+	for k := 0; k < ld.n; k++ {
+		id, d := ld.ids[k], ld.deltas[k]
+		switch {
+		case id < n:
+			ms.row[id] += d
+		case id < 2*n:
+			ms.col[id-n] += d
+		case id == 2*n:
+			ms.d1 += d
+		default:
+			ms.d2 += d
+		}
+	}
+}
+
+// Tune implements core.Tuner following the C benchmark's settings: magic
+// squares profit from the probabilistic local-minimum escape and a reset
+// threshold scaling with the side.
+func (ms *MagicSquare) Tune(o *core.Options) {
+	n := ms.side
+	o.ProbSelectLocMin = 0.06
+	o.FreezeLocMin = 1
+	o.ResetLimit = n*n/20 + 2
+	o.ResetFraction = 0.05
+	o.MaxIterations = int64(n) * int64(n) * 1000
+}
+
+// Verify independently checks that cfg solves the instance.
+func (ms *MagicSquare) Verify(cfg []int) bool {
+	n := ms.side
+	if len(cfg) != n*n {
+		return false
+	}
+	seen := make([]bool, n*n)
+	for _, v := range cfg {
+		if v < 0 || v >= n*n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for r := 0; r < n; r++ {
+		s := 0
+		for c := 0; c < n; c++ {
+			s += cfg[r*n+c] + 1
+		}
+		if s != ms.m {
+			return false
+		}
+	}
+	for c := 0; c < n; c++ {
+		s := 0
+		for r := 0; r < n; r++ {
+			s += cfg[r*n+c] + 1
+		}
+		if s != ms.m {
+			return false
+		}
+	}
+	s1, s2 := 0, 0
+	for r := 0; r < n; r++ {
+		s1 += cfg[r*n+r] + 1
+		s2 += cfg[r*n+(n-1-r)] + 1
+	}
+	return s1 == ms.m && s2 == ms.m
+}

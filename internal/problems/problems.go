@@ -1,0 +1,119 @@
+// Package problems provides the CSP benchmark encodings used in the
+// PPoPP 2012 parallel Adaptive Search study and in the original C
+// library it builds on:
+//
+//   - all-interval  (CSPLib prob007)  — used in the paper's Figs. 1–2
+//   - perfect-square (CSPLib prob009) — used in the paper's Figs. 1–2
+//   - magic-square  (CSPLib prob019)  — used in the paper's Figs. 1–2
+//   - costas         (Costas Array Problem) — the paper's Fig. 3
+//
+// plus the remaining benchmarks shipped with the C Adaptive Search
+// distribution (queens, alpha, langford, partition), which round out the
+// library for downstream users and appear in the extended experiments.
+//
+// Every encoding implements core.Problem; the ones with cheap
+// incremental deltas also implement core.SwapExecutor, mirroring the
+// Cost_If_Swap / Executed_Swap structure of the C code. Encodings that
+// maintain cached state are NOT safe for concurrent use: the multi-walk
+// engine constructs one instance per walker via the Factory type.
+package problems
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Factory builds a fresh, independent Problem instance. Multi-walk
+// execution requires one instance per walker because encodings cache
+// incremental state.
+type Factory func() (core.Problem, error)
+
+// builder couples a constructor validating its size parameter with
+// registry metadata.
+type builder struct {
+	name        string
+	description string
+	defaultSize int
+	paperSize   int // instance size used in the paper's experiments
+	build       func(n int) (core.Problem, error)
+}
+
+// registry holds all known benchmark encodings, keyed by name.
+var registry = map[string]builder{}
+
+func register(b builder) {
+	if _, dup := registry[b.name]; dup {
+		panic("problems: duplicate registration of " + b.name)
+	}
+	registry[b.name] = b
+}
+
+// Names returns the sorted list of registered benchmark names.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Info describes a registered benchmark.
+type Info struct {
+	Name        string
+	Description string
+	// DefaultSize is the laptop-scale instance parameter used by the
+	// experiment harness; PaperSize is the size the paper ran on its
+	// clusters (see DESIGN.md §2 for the scaling substitution).
+	DefaultSize int
+	PaperSize   int
+}
+
+// Describe returns metadata for a registered benchmark name.
+func Describe(name string) (Info, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("problems: unknown benchmark %q (known: %v)", name, Names())
+	}
+	return Info{Name: b.name, Description: b.description, DefaultSize: b.defaultSize, PaperSize: b.paperSize}, nil
+}
+
+// New constructs a single instance of the named benchmark with the given
+// size parameter. size <= 0 selects the benchmark's default size.
+func New(name string, size int) (core.Problem, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("problems: unknown benchmark %q (known: %v)", name, Names())
+	}
+	if size <= 0 {
+		size = b.defaultSize
+	}
+	return b.build(size)
+}
+
+// NewFactory returns a Factory producing fresh instances of the named
+// benchmark; the size parameter is validated once, eagerly.
+func NewFactory(name string, size int) (Factory, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("problems: unknown benchmark %q (known: %v)", name, Names())
+	}
+	if size <= 0 {
+		size = b.defaultSize
+	}
+	if _, err := b.build(size); err != nil {
+		return nil, err
+	}
+	n := size
+	return func() (core.Problem, error) { return b.build(n) }, nil
+}
+
+// abs is the integer absolute value used throughout the encodings.
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

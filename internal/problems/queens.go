@@ -1,0 +1,162 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register(builder{
+		name:        "queens",
+		description: "N-Queens: place n queens on an n x n board with no two attacking (CSPLib prob054)",
+		defaultSize: 100,
+		paperSize:   100,
+		build:       func(n int) (core.Problem, error) { return NewQueens(n) },
+	})
+}
+
+// Queens encodes the N-Queens problem. The configuration is a
+// permutation: cfg[r] is the column of the queen in row r, so rows and
+// columns are all-different by construction and only diagonal conflicts
+// contribute to the cost. The encoding maintains occupancy counters for
+// the 2n-1 ascending and 2n-1 descending diagonals, giving O(1)
+// CostIfSwap — the same structure as the C library's queens benchmark.
+type Queens struct {
+	n    int
+	up   []int // up[r+c] = queens on the ascending diagonal r+c
+	down []int // down[r-c+n-1] = queens on the descending diagonal
+}
+
+// NewQueens returns an n-queens instance. n must be at least 1.
+func NewQueens(n int) (*Queens, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("queens: size must be >= 1, got %d", n)
+	}
+	return &Queens{
+		n:    n,
+		up:   make([]int, 2*n-1),
+		down: make([]int, 2*n-1),
+	}, nil
+}
+
+// Name implements core.Namer.
+func (q *Queens) Name() string { return "queens" }
+
+// Size implements core.Problem.
+func (q *Queens) Size() int { return q.n }
+
+// Cost implements core.Problem: the number of attacking pairs. It
+// rebuilds the diagonal counters from scratch.
+func (q *Queens) Cost(cfg []int) int {
+	for i := range q.up {
+		q.up[i] = 0
+		q.down[i] = 0
+	}
+	for r, c := range cfg {
+		q.up[r+c]++
+		q.down[r-c+q.n-1]++
+	}
+	cost := 0
+	for i := range q.up {
+		cost += pairs(q.up[i]) + pairs(q.down[i])
+	}
+	return cost
+}
+
+// pairs returns k choose 2: the number of conflicting pairs among k
+// queens sharing a diagonal.
+func pairs(k int) int { return k * (k - 1) / 2 }
+
+// CostOnVariable implements core.Problem: the number of queens attacking
+// the queen of row i.
+func (q *Queens) CostOnVariable(cfg []int, i int) int {
+	c := cfg[i]
+	return (q.up[i+c] - 1) + (q.down[i-c+q.n-1] - 1)
+}
+
+// CostIfSwap implements core.Problem with an O(1) delta: remove the two
+// queens from their diagonals, re-add them with swapped columns.
+func (q *Queens) CostIfSwap(cfg []int, cost, i, j int) int {
+	n1 := q.n - 1
+	ci, cj := cfg[i], cfg[j]
+	// Remove queen i and queen j from their four diagonals.
+	cost -= q.up[i+ci] - 1
+	q.up[i+ci]--
+	cost -= q.down[i-ci+n1] - 1
+	q.down[i-ci+n1]--
+	cost -= q.up[j+cj] - 1
+	q.up[j+cj]--
+	cost -= q.down[j-cj+n1] - 1
+	q.down[j-cj+n1]--
+	// Re-add with swapped columns.
+	cost += q.up[i+cj]
+	q.up[i+cj]++
+	cost += q.down[i-cj+n1]
+	q.down[i-cj+n1]++
+	cost += q.up[j+ci]
+	q.up[j+ci]++
+	cost += q.down[j-ci+n1]
+	q.down[j-ci+n1]++
+	// Roll back: CostIfSwap must not change observable state.
+	q.up[i+cj]--
+	q.down[i-cj+n1]--
+	q.up[j+ci]--
+	q.down[j-ci+n1]--
+	q.up[i+ci]++
+	q.down[i-ci+n1]++
+	q.up[j+cj]++
+	q.down[j-cj+n1]++
+	return cost
+}
+
+// ExecutedSwap implements core.SwapExecutor: cfg has already been
+// swapped, so cfg[i] holds the old cfg[j] and vice versa.
+func (q *Queens) ExecutedSwap(cfg []int, i, j int) {
+	n1 := q.n - 1
+	newCi, newCj := cfg[i], cfg[j] // post-swap columns
+	// Remove the queens from their pre-swap diagonals...
+	q.up[i+newCj]-- // queen i previously held newCj
+	q.down[i-newCj+n1]--
+	q.up[j+newCi]--
+	q.down[j-newCi+n1]--
+	// ...and add them at their new positions.
+	q.up[i+newCi]++
+	q.down[i-newCi+n1]++
+	q.up[j+newCj]++
+	q.down[j-newCj+n1]++
+}
+
+// Tune implements core.Tuner with settings matching the C benchmark:
+// queens needs no restarts and benefits from a large reset threshold.
+func (q *Queens) Tune(o *core.Options) {
+	o.FreezeLocMin = 2
+	o.ResetLimit = q.n / 5
+	if o.ResetLimit < 2 {
+		o.ResetLimit = 2
+	}
+}
+
+// Verify reports whether cfg is a valid n-queens solution, checked
+// independently of the incremental machinery (used by tests and the
+// solution validators in the harness).
+func (q *Queens) Verify(cfg []int) bool {
+	if len(cfg) != q.n {
+		return false
+	}
+	seen := make(map[int]bool, q.n)
+	for _, v := range cfg {
+		if v < 0 || v >= q.n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for i := 0; i < q.n; i++ {
+		for j := i + 1; j < q.n; j++ {
+			if abs(cfg[i]-cfg[j]) == j-i {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,502 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustSample(t *testing.T, xs ...float64) *Sample {
+	t.Helper()
+	s, err := New(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := New([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := New([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("Inf accepted")
+	}
+	if _, err := New([]float64{-1}); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := mustSample(t, xs...)
+	xs[0] = 99
+	if s.Max() == 99 {
+		t.Fatal("Sample aliases caller slice")
+	}
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("unexpected min/max: %v %v", s.Min(), s.Max())
+	}
+}
+
+func TestFromInts(t *testing.T) {
+	s, err := FromInts([]int64{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("FromInts wrong: n=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+}
+
+func TestBasicMoments(t *testing.T) {
+	s := mustSample(t, 2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, 32.0/7)
+	}
+	if got := s.Median(); got != 4.5 {
+		t.Errorf("Median = %v, want 4.5", got)
+	}
+	one := mustSample(t, 3)
+	if one.Var() != 0 || one.Std() != 0 {
+		t.Error("single-observation variance must be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := mustSample(t, 1, 2, 3, 4, 5)
+	cases := []struct{ q, want float64 }{
+		{-1, 1}, {0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {2, 5},
+		{0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestECDF(t *testing.T) {
+	s := mustSample(t, 3, 1, 2)
+	xs, ps := s.ECDF()
+	if len(xs) != 3 || xs[0] != 1 || xs[2] != 3 {
+		t.Fatalf("ECDF xs = %v", xs)
+	}
+	if ps[0] <= 0 || ps[2] != 1 {
+		t.Fatalf("ECDF ps = %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Fatal("ECDF not strictly increasing")
+		}
+	}
+}
+
+func TestExpectedMinSmallCases(t *testing.T) {
+	s := mustSample(t, 1, 2, 3, 4, 5)
+	em1, err := s.ExpectedMin(1)
+	if err != nil || math.Abs(em1-3) > 1e-12 {
+		t.Fatalf("E[min_1] = %v (%v), want mean 3", em1, err)
+	}
+	em2, _ := s.ExpectedMin(2)
+	if math.Abs(em2-2.0) > 1e-12 {
+		t.Fatalf("E[min_2] = %v, want 2.0", em2)
+	}
+	em5, _ := s.ExpectedMin(5)
+	if em5 != 1 {
+		t.Fatalf("E[min_n] = %v, want the minimum 1", em5)
+	}
+	em9, _ := s.ExpectedMin(9) // k > n degenerates to the minimum
+	if em9 != 1 {
+		t.Fatalf("E[min_{k>n}] = %v, want 1", em9)
+	}
+	if _, err := s.ExpectedMin(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestExpectedMinMatchesBruteForce enumerates all k-subsets for small
+// samples and compares the closed-form estimator against the exact
+// subset average.
+func TestExpectedMinMatchesBruteForce(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = math.Floor(r.Float64() * 100)
+	}
+	s := mustSample(t, xs...)
+	for k := 1; k <= 10; k++ {
+		want := bruteForceMinMean(s.xs, k)
+		got, err := s.ExpectedMin(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("k=%d: ExpectedMin = %v, brute force = %v", k, got, want)
+		}
+	}
+}
+
+// bruteForceMinMean averages min(S) over all k-subsets of xs.
+func bruteForceMinMean(xs []float64, k int) float64 {
+	n := len(xs)
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	total, count := 0.0, 0
+	for {
+		m := math.Inf(1)
+		for _, i := range idx {
+			if xs[i] < m {
+				m = xs[i]
+			}
+		}
+		total += m
+		count++
+		// next combination
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return total / float64(count)
+}
+
+func TestExpectedMinMonteCarloAgrees(t *testing.T) {
+	r := rng.New(9)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 100
+	}
+	s := mustSample(t, xs...)
+	for _, k := range []int{2, 8, 32} {
+		exact, _ := s.ExpectedMin(k)
+		mc, err := s.MonteCarloMin(k, 20000, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-mc)/exact > 0.1 {
+			t.Fatalf("k=%d: exact %v vs Monte Carlo %v differ by >10%%", k, exact, mc)
+		}
+	}
+	if _, err := s.MonteCarloMin(0, 10, r); err == nil {
+		t.Fatal("MonteCarloMin k=0 accepted")
+	}
+}
+
+func TestSpeedupMonotone(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 10 + r.ExpFloat64()*90
+	}
+	s := mustSample(t, xs...)
+	prev := 0.0
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+		sp, err := s.Speedup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp < prev {
+			t.Fatalf("speedup not monotone at k=%d: %v < %v", k, sp, prev)
+		}
+		prev = sp
+	}
+	sp1, _ := s.Speedup(1)
+	if math.Abs(sp1-1) > 1e-12 {
+		t.Fatalf("Speedup(1) = %v, want 1", sp1)
+	}
+}
+
+func TestSpeedupDegenerate(t *testing.T) {
+	s := mustSample(t, 0, 0, 0)
+	if _, err := s.Speedup(2); err == nil {
+		t.Fatal("degenerate all-zero sample accepted")
+	}
+}
+
+// TestExponentialSpeedupNearIdeal is the statistical heart of Fig. 3:
+// exponential runtimes give speedup(k) ~ k.
+func TestExponentialSpeedupNearIdeal(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 1000
+	}
+	s := mustSample(t, xs...)
+	for _, k := range []int{2, 4, 8, 16} {
+		sp, _ := s.Speedup(k)
+		if math.Abs(sp-float64(k))/float64(k) > 0.15 {
+			t.Fatalf("exponential speedup at k=%d is %v, want ~%d", k, sp, k)
+		}
+	}
+}
+
+// TestShiftedSpeedupSaturates is the heart of Figs. 1-2: a runtime
+// floor caps the speedup at mean/shift.
+func TestShiftedSpeedupSaturates(t *testing.T) {
+	r := rng.New(4)
+	const shift, scale = 100.0, 100.0
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = shift + r.ExpFloat64()*scale
+	}
+	s := mustSample(t, xs...)
+	sp64, _ := s.Speedup(64)
+	sp128, _ := s.Speedup(128)
+	// Saturation limit = (shift+scale)/shift = 2.
+	if sp64 > 2.1 || sp128 > 2.1 {
+		t.Fatalf("speedup exceeded saturation limit: %v %v", sp64, sp128)
+	}
+	if sp64 < 1.6 {
+		t.Fatalf("speedup at 64 cores = %v, expected close to the limit 2", sp64)
+	}
+	if sp128 < sp64 {
+		t.Fatalf("speedup decreased: %v -> %v", sp64, sp128)
+	}
+}
+
+func TestFitShiftedExp(t *testing.T) {
+	r := rng.New(6)
+	const shift, scale = 500.0, 250.0
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = shift + r.ExpFloat64()*scale
+	}
+	s := mustSample(t, xs...)
+	m := FitShiftedExp(s)
+	if math.Abs(m.Shift-shift)/shift > 0.05 {
+		t.Fatalf("fitted shift %v, want ~%v", m.Shift, shift)
+	}
+	if math.Abs(m.Scale-scale)/scale > 0.05 {
+		t.Fatalf("fitted scale %v, want ~%v", m.Scale, scale)
+	}
+	// Saturation = (shift+scale)/shift = 750/500 = 1.5.
+	if sat := m.SaturationSpeedup(); math.Abs(sat-1.5) > 0.1 {
+		t.Fatalf("saturation speedup %v, want ~1.5", sat)
+	}
+}
+
+func TestFitShiftedExpPureExponential(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 800
+	}
+	s := mustSample(t, xs...)
+	m := FitShiftedExp(s)
+	if m.Shift > 0.05*m.Mean() {
+		t.Fatalf("pure exponential fitted with shift %v (mean %v)", m.Shift, m.Mean())
+	}
+	if !math.IsInf(ShiftedExp{Shift: 0, Scale: 1}.SaturationSpeedup(), 1) {
+		t.Fatal("zero-shift saturation should be +Inf")
+	}
+	// Model speedup ~ k for small shift.
+	if sp := m.Speedup(64); sp < 40 {
+		t.Fatalf("near-exponential model speedup at 64 = %v, want ~64", sp)
+	}
+}
+
+func TestFitShiftedExpDegenerate(t *testing.T) {
+	s := mustSample(t, 5)
+	m := FitShiftedExp(s)
+	if m.Shift != 5 || m.Scale != 0 {
+		t.Fatalf("single-point fit: %+v", m)
+	}
+	if m.ExpectedMin(10) != 5 {
+		t.Fatal("deterministic model must have constant min")
+	}
+}
+
+func TestCVDiagnostic(t *testing.T) {
+	r := rng.New(8)
+	exp := make([]float64, 3000)
+	shifted := make([]float64, 3000)
+	for i := range exp {
+		exp[i] = r.ExpFloat64() * 100
+		shifted[i] = 300 + r.ExpFloat64()*100
+	}
+	se := mustSample(t, exp...)
+	ss := mustSample(t, shifted...)
+	if cv := se.CV(); math.Abs(cv-1) > 0.1 {
+		t.Fatalf("exponential CV = %v, want ~1", cv)
+	}
+	if cv := ss.CV(); cv > 0.5 {
+		t.Fatalf("shifted CV = %v, want well below 1", cv)
+	}
+	zero := mustSample(t, 0, 0)
+	if zero.CV() != 0 {
+		t.Fatal("all-zero CV should be 0")
+	}
+}
+
+func TestQQExponentialR2(t *testing.T) {
+	r := rng.New(10)
+	exp := make([]float64, 2000)
+	bimodal := make([]float64, 2000)
+	for i := range exp {
+		exp[i] = r.ExpFloat64() * 50
+		if i%2 == 0 {
+			bimodal[i] = 10 + r.Float64()
+		} else {
+			bimodal[i] = 1000 + r.Float64()
+		}
+	}
+	se := mustSample(t, exp...)
+	sb := mustSample(t, bimodal...)
+	if got := se.QQExponentialR2(); got < 0.98 {
+		t.Fatalf("exponential QQ R2 = %v, want > 0.98", got)
+	}
+	if got := sb.QQExponentialR2(); got > 0.9 {
+		t.Fatalf("bimodal QQ R2 = %v, want < 0.9", got)
+	}
+	tiny := mustSample(t, 1, 2)
+	if tiny.QQExponentialR2() != 0 {
+		t.Fatal("n<3 QQ R2 should be 0")
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	r := rng.New(11)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 50 + r.ExpFloat64()*10
+	}
+	s := mustSample(t, xs...)
+	mean := s.Mean()
+	lo, hi, err := s.Bootstrap(func(b *Sample) float64 { return b.Mean() }, 500, 0.95, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > mean || hi < mean {
+		t.Fatalf("bootstrap CI [%v, %v] excludes the point estimate %v", lo, hi, mean)
+	}
+	if hi <= lo {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if _, _, err := s.Bootstrap(func(b *Sample) float64 { return 0 }, 5, 0.95, r); err == nil {
+		t.Fatal("iters<10 accepted")
+	}
+	if _, _, err := s.Bootstrap(func(b *Sample) float64 { return 0 }, 100, 1.5, r); err == nil {
+		t.Fatal("conf>1 accepted")
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x // slope 2, intercept log(3)
+	}
+	slope, intercept, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", slope)
+	}
+	if math.Abs(intercept-math.Log(3)) > 1e-9 {
+		t.Fatalf("intercept = %v, want log 3", intercept)
+	}
+	if _, _, err := LogLogSlope([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("short series accepted")
+	}
+	if _, _, err := LogLogSlope([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("negative x accepted")
+	}
+	if _, _, err := LogLogSlope([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+}
+
+// TestExpectedMinScaleInvariance: Ê[min_k] is linear in the data.
+func TestExpectedMinScaleInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		s1, _ := New(xs)
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = 3 * xs[i]
+		}
+		s3, _ := New(scaled)
+		a, _ := s1.ExpectedMin(7)
+		b, _ := s3.ExpectedMin(7)
+		return math.Abs(3*a-b) < 1e-9*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpectedMinInvariants: Ê[min_k] is nonincreasing in k, bounded
+// below by the sample minimum, and speedup is always >= 1. (Note that
+// speedup <= k is NOT an invariant: bimodal runtime distributions give
+// superlinear expected speedup, a classic result of the restart
+// literature that the multi-walk scheme inherits.)
+func TestExpectedMinInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = 1 + r.Float64()*1000
+		}
+		s, _ := New(xs)
+		prev := math.Inf(1)
+		for _, k := range []int{1, 2, 5, 13, 59} {
+			em, err := s.ExpectedMin(k)
+			if err != nil || em > prev+1e-9 || em < s.Min()-1e-9 {
+				return false
+			}
+			sp, err := s.Speedup(k)
+			if err != nil || sp < 1-1e-9 {
+				return false
+			}
+			prev = em
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSuperlinearSpeedupPossible documents the bimodal counterexample:
+// a 90%-fast / 10%-slow mixture yields speedup above k.
+func TestSuperlinearSpeedupPossible(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i < 90 {
+			xs[i] = 1
+		} else {
+			xs[i] = 10000
+		}
+	}
+	s := mustSample(t, xs...)
+	sp, err := s.Speedup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 2 {
+		t.Fatalf("bimodal speedup at k=2 is %v, expected superlinear (> 2)", sp)
+	}
+}
