@@ -34,6 +34,35 @@ type MultiWalkResult = multiwalk.Result
 // scheme, the paper's future-work extension.
 type ExchangeOptions = multiwalk.ExchangeOptions
 
+// PortfolioEntry assigns engine options (typically a different search
+// strategy) to a weighted share of the walkers of a multi-walk run;
+// set MultiWalkOptions.Portfolio to run a heterogeneous portfolio.
+type PortfolioEntry = multiwalk.PortfolioEntry
+
+// Strategy bundles the engine's pluggable search behaviors: variable
+// selection, move selection, and the restart/diversification policy.
+// Select a registered strategy by name through Options.Strategy.
+type Strategy = core.Strategy
+
+// VariableSelector picks the variable to move each engine iteration.
+type VariableSelector = core.VariableSelector
+
+// MoveSelector picks the swap partner for the selected variable.
+type MoveSelector = core.MoveSelector
+
+// RestartPolicy owns freezes, probabilistic escapes and partial resets.
+type RestartPolicy = core.RestartPolicy
+
+// SearchState is the live engine state handed to strategy plug points.
+type SearchState = core.State
+
+// Built-in strategy names for Options.Strategy.
+const (
+	StrategyAdaptive   = core.StrategyAdaptive
+	StrategyRandomWalk = core.StrategyRandomWalk
+	StrategyMetropolis = core.StrategyMetropolis
+)
+
 // ProblemFactory builds fresh problem instances, one per walker.
 type ProblemFactory = multiwalk.Factory
 
@@ -97,3 +126,14 @@ func DescribeBenchmark(name string) (ProblemInfo, error) { return problems.Descr
 // NewModel starts a declarative CSP over n variables whose values are
 // cfg[i] + valueOffset.
 func NewModel(n, valueOffset int) *Model { return csp.NewModel(n, valueOffset) }
+
+// RegisterStrategy adds a named strategy factory to the global
+// registry, making it selectable through Options.Strategy (and thus
+// multi-walk portfolios and the CLI). The factory runs once per Solve
+// call, so strategies may carry per-run state.
+func RegisterStrategy(name string, factory func() Strategy) {
+	core.RegisterStrategy(name, factory)
+}
+
+// StrategyNames lists the registered strategy names.
+func StrategyNames() []string { return core.StrategyNames() }

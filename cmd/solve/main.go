@@ -5,13 +5,16 @@
 // Usage:
 //
 //	solve -problem costas -size 16 -walkers 8 -seed 42 -timeout 60s
-//	solve -problem magic-square -size 10
+//	solve -problem magic-square -size 10 -strategy metropolis
+//	solve -problem costas -size 14 -walkers 6 -portfolio adaptive:2,metropolis:1
 //	solve -list
 //
 // With -walkers > 1 the run uses the paper's independent multi-walk
 // scheme (first solution wins); -exchange enables the dependent
 // (communicating) variant; -virtual executes walks sequentially and
-// reports the deterministic iteration-count winner.
+// reports the deterministic iteration-count winner. -strategy selects
+// the search strategy for all walkers; -portfolio mixes strategies
+// across walkers as weighted name:weight pairs.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,15 +40,17 @@ func main() {
 
 func run() error {
 	var (
-		problem  = flag.String("problem", "costas", "benchmark name (see -list)")
-		size     = flag.Int("size", 0, "instance size (0 = benchmark default)")
-		walkers  = flag.Int("walkers", 1, "parallel walkers (1 = sequential)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "overall deadline")
-		exchange = flag.Bool("exchange", false, "enable dependent multi-walk communication")
-		virtual  = flag.Bool("virtual", false, "deterministic virtual multi-walk (winner by iterations)")
-		list     = flag.Bool("list", false, "list available benchmarks and exit")
-		quiet    = flag.Bool("quiet", false, "suppress solution printing")
+		problem   = flag.String("problem", "costas", "benchmark name (see -list)")
+		size      = flag.Int("size", 0, "instance size (0 = benchmark default)")
+		walkers   = flag.Int("walkers", 1, "parallel walkers (1 = sequential)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+		exchange  = flag.Bool("exchange", false, "enable dependent multi-walk communication")
+		virtual   = flag.Bool("virtual", false, "deterministic virtual multi-walk (winner by iterations)")
+		strategy  = flag.String("strategy", "", "search strategy for all walkers (see -list)")
+		portfolio = flag.String("portfolio", "", "heterogeneous strategy portfolio as name:weight pairs, e.g. adaptive:2,metropolis:1 (requires -walkers > 1)")
+		list      = flag.Bool("list", false, "list available benchmarks and strategies and exit")
+		quiet     = flag.Bool("quiet", false, "suppress solution printing")
 	)
 	flag.Parse()
 
@@ -56,6 +62,7 @@ func run() error {
 			}
 			fmt.Printf("%-15s default=%-5d paper=%-5d %s\n", info.Name, info.DefaultSize, info.PaperSize, info.Description)
 		}
+		fmt.Printf("strategies: %s\n", strings.Join(core.StrategyNames(), ", "))
 		return nil
 	}
 
@@ -68,6 +75,14 @@ func run() error {
 	}
 	opts := core.TunedOptions(p)
 	opts.Seed = *seed
+	opts.Strategy = *strategy
+
+	if *portfolio != "" && *walkers <= 1 {
+		return fmt.Errorf("-portfolio requires -walkers > 1")
+	}
+	if *portfolio != "" && *strategy != "" {
+		return fmt.Errorf("-portfolio and -strategy are mutually exclusive")
+	}
 
 	if *walkers <= 1 {
 		res, err := core.Solve(ctx, p, opts)
@@ -86,6 +101,13 @@ func run() error {
 		return err
 	}
 	mopts := multiwalk.Options{Walkers: *walkers, Seed: *seed, Engine: opts}
+	if *portfolio != "" {
+		entries, err := parsePortfolio(*portfolio, opts)
+		if err != nil {
+			return err
+		}
+		mopts.Portfolio = entries
+	}
 	if *exchange {
 		mopts.Exchange = multiwalk.ExchangeOptions{Enabled: true}
 	}
@@ -101,6 +123,9 @@ func run() error {
 	mode := "independent multi-walk"
 	if *exchange {
 		mode = "dependent multi-walk"
+	}
+	if *portfolio != "" {
+		mode += " portfolio [" + *portfolio + "]"
 	}
 	if *virtual {
 		mode += " (virtual)"
@@ -122,10 +147,42 @@ func run() error {
 		} else if w.Result.Interrupted {
 			status = "cancelled"
 		}
-		fmt.Printf("  walker %d: %-9s iters=%-10d restarts=%-3d adoptions=%d\n",
-			w.Walker, status, w.Result.Iterations, w.Result.Restarts, w.Adoptions)
+		fmt.Printf("  walker %d: %-9s strategy=%-12s iters=%-10d restarts=%-3d adoptions=%d\n",
+			w.Walker, status, w.Result.Strategy, w.Result.Iterations, w.Result.Restarts, w.Adoptions)
 	}
 	return exitStatus(res.Solved)
+}
+
+// parsePortfolio turns "adaptive:2,metropolis:1" into portfolio entries
+// layered over the benchmark's tuned engine options. A bare name means
+// weight 1.
+func parsePortfolio(spec string, base core.Options) ([]multiwalk.PortfolioEntry, error) {
+	var entries []multiwalk.PortfolioEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		if name == "" {
+			return nil, fmt.Errorf("missing strategy name in portfolio entry %q", part)
+		}
+		weight := 1
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("bad portfolio weight in %q", part)
+			}
+			weight = w
+		}
+		eng := base
+		eng.Strategy = name
+		entries = append(entries, multiwalk.PortfolioEntry{Weight: weight, Engine: eng})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("empty -portfolio spec %q", spec)
+	}
+	return entries, nil
 }
 
 func exitStatus(solved bool) error {

@@ -56,12 +56,35 @@ type SwapExecutor interface {
 	ExecutedSwap(cfg []int, i, j int)
 }
 
+// ErrorVector is the incremental error-cache fast path: problems that
+// can report the projected errors of all variables in one call
+// implement it, and the engine's worst-variable selection scans the
+// resulting vector instead of issuing one CostOnVariable call per
+// variable per iteration.
+//
+// Contract:
+//   - ErrorsOnVariables fills out[i] with exactly the value
+//     CostOnVariable(cfg, i) would return, for every i; len(out) ==
+//     len(cfg). The engine relies on this equivalence: search traces
+//     must not depend on which path served the errors.
+//   - Implementations typically cache the vector and invalidate or
+//     update it through ExecutedSwap (and rebuild it in Cost), so
+//     iterations that do not move — frozen local minima — serve the
+//     vector for free and iterations that do move pay only for the
+//     entries a swap actually changed. A problem that also implements
+//     ResetHandler must invalidate the cache in Reset as well: the
+//     engine does not call Cost or ExecutedSwap around a custom reset.
+type ErrorVector interface {
+	ErrorsOnVariables(cfg []int, out []int)
+}
+
 // ResetHandler is implemented by problems that want a custom partial
 // reset (the C library's Reset hook). Reset perturbs cfg in place and
 // returns the new global cost; incremental state must be left consistent
-// with the returned cfg. If a problem does not implement ResetHandler
-// the engine applies a generic partial shuffle followed by a full Cost
-// recompute.
+// with the returned cfg (for ErrorVector implementers that includes
+// invalidating or refreshing the cached error vector). If a problem
+// does not implement ResetHandler the engine applies a generic partial
+// shuffle followed by a full Cost recompute.
 type ResetHandler interface {
 	Reset(cfg []int, r *rng.Rand) int
 }

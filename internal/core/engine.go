@@ -21,11 +21,13 @@ func TunedOptions(p Problem) Options {
 	return o
 }
 
-// Solve runs the Adaptive Search engine on p until a solution is found,
-// the restart budget is exhausted, or ctx is cancelled. A nil ctx is
-// treated as context.Background(). The returned error reports invalid
-// options or an ill-formed problem; search outcomes (including running
-// out of budget) are reported in the Result, not as errors.
+// Solve runs the constraint-based local search engine on p until a
+// solution is found, the restart budget is exhausted, or ctx is
+// cancelled. A nil ctx is treated as context.Background(). The search
+// strategy is resolved from opts.Strategy (classic Adaptive Search by
+// default). The returned error reports invalid options or an ill-formed
+// problem; search outcomes (including running out of budget) are
+// reported in the Result, not as errors.
 func Solve(ctx context.Context, p Problem, opts Options) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -43,12 +45,17 @@ func Solve(ctx context.Context, p Problem, opts Options) (Result, error) {
 			return Result{}, fmt.Errorf("core: bad InitialConfig: %w", err)
 		}
 	}
+	strat, err := strategyFor(opts.Strategy)
+	if err != nil {
+		return Result{}, err
+	}
 
 	e := &engine{
-		p:    p,
-		opts: opts,
-		rand: rng.New(opts.Seed),
-		done: ctx.Done(),
+		p:     p,
+		opts:  opts,
+		rand:  rng.New(opts.Seed),
+		done:  ctx.Done(),
+		strat: strat,
 	}
 	e.swapper, _ = p.(SwapExecutor)
 	e.resetter, _ = p.(ResetHandler)
@@ -59,7 +66,10 @@ func Solve(ctx context.Context, p Problem, opts Options) (Result, error) {
 	return res, nil
 }
 
-// engine holds the mutable state of one Solve call.
+// engine holds the mutable state of one Solve call: the loop skeleton
+// plus the strategy instance it dispatches to. The search state proper
+// (configuration, cost, tabu marks) lives in st, the view handed to
+// strategy plug points.
 type engine struct {
 	p        Problem
 	opts     Options
@@ -67,11 +77,9 @@ type engine struct {
 	done     <-chan struct{}
 	swapper  SwapExecutor
 	resetter ResetHandler
+	strat    Strategy
 
-	cfg   []int
-	cost  int
-	marks []int64 // marks[i] >= current iteration means variable i is frozen
-	iter  int64   // iteration counter of the current run
+	st State
 
 	res Result
 
@@ -81,7 +89,7 @@ type engine struct {
 
 func (e *engine) solve() Result {
 	n := e.p.Size()
-	e.res = Result{Cost: math.MaxInt}
+	e.res = Result{Cost: math.MaxInt, Strategy: e.strat.Name}
 	e.bestCost = math.MaxInt
 
 	// Degenerate sizes: a 0- or 1-variable problem has a single
@@ -95,7 +103,11 @@ func (e *engine) solve() Result {
 		return e.res
 	}
 
-	e.marks = make([]int64, n)
+	e.st.Rand = e.rand
+	e.st.Opts = &e.opts
+	e.st.Marks = make([]int64, n)
+	e.st.bindProblem(e.p, n)
+
 	runs := 0
 	for {
 		runs++
@@ -133,36 +145,38 @@ func (e *engine) noteBest(cost int, cfg []int) {
 	}
 }
 
-// runOnce performs a single Adaptive Search run (up to MaxIterations).
-// It returns solved=true when a zero-cost configuration was reached and
-// interrupted=true when the context was cancelled mid-run.
+// runOnce performs a single run (up to MaxIterations), dispatching each
+// iteration to the strategy plug points. It returns solved=true when a
+// zero-cost configuration was reached and interrupted=true when the
+// context was cancelled mid-run.
 func (e *engine) runOnce(first bool) (solved, interrupted bool) {
 	n := e.p.Size()
 	o := &e.opts
 
 	if first && o.InitialConfig != nil {
-		e.cfg = perm.Copy(o.InitialConfig)
+		e.st.Cfg = perm.Copy(o.InitialConfig)
 	} else {
-		e.cfg = e.rand.Perm(n)
+		e.st.Cfg = e.rand.Perm(n)
 	}
-	e.cost = e.p.Cost(e.cfg)
-	for i := range e.marks {
-		e.marks[i] = 0
+	e.st.Cost = e.p.Cost(e.st.Cfg)
+	e.st.InvalidateErrors()
+	for i := range e.st.Marks {
+		e.st.Marks[i] = 0
 	}
-	nMarked := 0
-	e.iter = 0
-	e.noteBest(e.cost, e.cfg)
+	e.st.Iter = 0
+	e.strat.Restart.NewRun(&e.st)
+	e.noteBest(e.st.Cost, e.st.Cfg)
 
 	checkEvery := int64(o.CheckEvery)
-	for e.cost > 0 && e.iter < o.MaxIterations {
-		e.iter++
+	for e.st.Cost > 0 && e.st.Iter < o.MaxIterations {
+		e.st.Iter++
 		e.res.Iterations++
 		if e.res.Iterations%checkEvery == 0 {
 			if e.cancelled() {
 				return false, true
 			}
 			if o.Monitor != nil {
-				d := o.Monitor(e.res.Iterations, e.cost, e.cfg)
+				d := o.Monitor(e.res.Iterations, e.st.Cost, e.st.Cfg)
 				if d.Stop {
 					return false, true
 				}
@@ -170,7 +184,7 @@ func (e *engine) runOnce(first bool) (solved, interrupted bool) {
 					return false, false
 				}
 				if d.SetConfig != nil && e.adoptConfig(d.SetConfig) {
-					nMarked = 0
+					e.strat.Restart.NewRun(&e.st)
 					continue
 				}
 			}
@@ -180,57 +194,38 @@ func (e *engine) runOnce(first bool) (solved, interrupted bool) {
 		if o.Exhaustive {
 			worst, bestJ, bestCost = e.selectBestPair()
 		} else {
-			worst = e.selectWorstVariable()
-			bestJ, bestCost = e.selectBestSwap(worst)
+			worst = e.strat.Variable.SelectVariable(&e.st)
+			bestJ, bestCost = e.strat.Move.SelectMove(&e.st, worst)
 		}
 
 		if bestJ != worst {
-			// A move with cost <= current exists (possibly a sideways
-			// plateau move, which Adaptive Search accepts by default —
-			// "staying" competes in the tie pool above).
+			// The strategy accepted a move (for the default strategy: a
+			// move with cost <= current, possibly a sideways plateau
+			// move; Metropolis additionally accepts uphill moves).
 			e.doSwap(worst, bestJ, bestCost)
-			if o.FreezeSwap > 0 {
-				e.marks[worst] = e.iter + int64(o.FreezeSwap)
-				e.marks[bestJ] = e.iter + int64(o.FreezeSwap)
-				nMarked += 2
-			}
+			e.strat.Restart.OnSwap(&e.st, worst, bestJ)
 			continue
 		}
 
-		// Local minimum: every candidate swap is strictly worse than
-		// staying.
+		// Local minimum: the move selector found no acceptable swap.
 		e.res.LocalMinima++
-		if o.ProbSelectLocMin > 0 && e.rand.Float64() < o.ProbSelectLocMin {
-			// Probabilistic escape: force the move on a random second
-			// variable (possibly uphill), as in the C library's
-			// prob_select_loc_min.
-			if o.Exhaustive {
-				worst = e.rand.Intn(n)
-			}
-			j := e.rand.Intn(n - 1)
-			if j >= worst {
-				j++
-			}
-			c := e.p.CostIfSwap(e.cfg, e.cost, worst, j)
-			e.doSwap(worst, j, c)
+		vi, vj, reset := e.strat.Restart.OnLocalMinimum(&e.st, worst)
+		if vj >= 0 {
+			// Forced escape move, possibly uphill.
+			c := e.p.CostIfSwap(e.st.Cfg, e.st.Cost, vi, vj)
+			e.doSwap(vi, vj, c)
 			e.res.PlateauEscapes++
 			continue
 		}
-
-		// Freeze the worst variable; too many freezes since the last
-		// reset trigger a partial reset.
-		e.marks[worst] = e.iter + int64(o.FreezeLocMin)
-		nMarked++
-		if nMarked > o.ResetLimit {
+		if reset {
 			e.partialReset()
-			for i := range e.marks {
-				e.marks[i] = 0
+			for i := range e.st.Marks {
+				e.st.Marks[i] = 0
 			}
-			nMarked = 0
 		}
 	}
-	if e.cost == 0 {
-		e.noteBest(0, e.cfg)
+	if e.st.Cost == 0 {
+		e.noteBest(0, e.st.Cfg)
 		return true, false
 	}
 	return false, e.cancelled()
@@ -246,127 +241,33 @@ func (e *engine) cancelled() bool {
 	}
 }
 
-// selectWorstVariable returns the index with the highest projected error
-// among non-frozen variables, breaking ties uniformly at random. When
-// every variable is frozen it falls back to a uniformly random index,
-// as the C library does.
-func (e *engine) selectWorstVariable() int {
-	worst := -1
-	bestErr := math.MinInt
-	ties := 0
-	for i := range e.cfg {
-		if e.marks[i] >= e.iter {
-			continue
-		}
-		err := e.p.CostOnVariable(e.cfg, i)
-		switch {
-		case err > bestErr:
-			bestErr = err
-			worst = i
-			ties = 1
-		case err == bestErr:
-			ties++
-			if e.rand.Intn(ties) == 0 {
-				worst = i
-			}
-		}
-	}
-	if worst < 0 {
-		worst = e.rand.Intn(len(e.cfg))
-	}
-	return worst
-}
-
-// selectBestSwap scans all swap partners for variable i and returns the
-// partner minimizing the resulting global cost, ties broken uniformly.
-// Following the original Select_Var_Min_Conflict, "staying put" (j == i,
-// cost unchanged) seeds the candidate pool, so sideways plateau moves
-// compete with it on equal footing and strictly-worse moves are never
-// taken; bestJ == i signals a genuine local minimum. With FirstBest set
-// it returns the first strictly improving partner immediately.
-func (e *engine) selectBestSwap(i int) (j, cost int) {
-	bestJ := i
-	bestCost := e.cost
-	ties := 1
-	for cand := range e.cfg {
-		if cand == i {
-			continue
-		}
-		c := e.p.CostIfSwap(e.cfg, e.cost, i, cand)
-		switch {
-		case c < bestCost:
-			bestCost = c
-			bestJ = cand
-			ties = 1
-			if e.opts.FirstBest {
-				return bestJ, bestCost
-			}
-		case c == bestCost:
-			ties++
-			if e.rand.Intn(ties) == 0 {
-				bestJ = cand
-			}
-		}
-	}
-	return bestJ, bestCost
-}
-
-// selectBestPair scans every unordered variable pair and returns the
-// swap minimizing the resulting cost (Exhaustive mode). "Staying put" is
-// in the tie pool exactly as in selectBestSwap; i == j on return signals
-// a strict local minimum. Tabu marks are ignored.
-func (e *engine) selectBestPair() (i, j, cost int) {
-	n := len(e.cfg)
-	bestI, bestJ := 0, 0
-	bestCost := e.cost
-	ties := 1
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			c := e.p.CostIfSwap(e.cfg, e.cost, a, b)
-			switch {
-			case c < bestCost:
-				bestCost = c
-				bestI, bestJ = a, b
-				ties = 1
-				if e.opts.FirstBest {
-					return bestI, bestJ, bestCost
-				}
-			case c == bestCost:
-				ties++
-				if e.rand.Intn(ties) == 0 {
-					bestI, bestJ = a, b
-				}
-			}
-		}
-	}
-	return bestI, bestJ, bestCost
-}
-
 // doSwap executes the swap (i, j), records statistics, updates the
 // incremental state of the problem and the best-seen configuration.
 func (e *engine) doSwap(i, j, newCost int) {
-	e.cfg[i], e.cfg[j] = e.cfg[j], e.cfg[i]
+	e.st.Cfg[i], e.st.Cfg[j] = e.st.Cfg[j], e.st.Cfg[i]
 	if e.swapper != nil {
-		e.swapper.ExecutedSwap(e.cfg, i, j)
+		e.swapper.ExecutedSwap(e.st.Cfg, i, j)
 	}
-	e.cost = newCost
+	e.st.Cost = newCost
+	e.st.InvalidateErrors()
 	e.res.Swaps++
-	e.noteBest(newCost, e.cfg)
+	e.noteBest(newCost, e.st.Cfg)
 }
 
 // adoptConfig teleports the walker to cfg (from a Monitor directive),
 // clearing tabu marks and recomputing the cost. Invalid configurations
 // are rejected.
 func (e *engine) adoptConfig(cfg []int) bool {
-	if len(cfg) != len(e.cfg) || perm.Validate(cfg) != nil {
+	if len(cfg) != len(e.st.Cfg) || perm.Validate(cfg) != nil {
 		return false
 	}
-	copy(e.cfg, cfg)
-	e.cost = e.p.Cost(e.cfg)
-	for i := range e.marks {
-		e.marks[i] = 0
+	copy(e.st.Cfg, cfg)
+	e.st.Cost = e.p.Cost(e.st.Cfg)
+	e.st.InvalidateErrors()
+	for i := range e.st.Marks {
+		e.st.Marks[i] = 0
 	}
-	e.noteBest(e.cost, e.cfg)
+	e.noteBest(e.st.Cost, e.st.Cfg)
 	return true
 }
 
@@ -376,14 +277,15 @@ func (e *engine) adoptConfig(cfg []int) bool {
 func (e *engine) partialReset() {
 	e.res.Resets++
 	if e.resetter != nil {
-		e.cost = e.resetter.Reset(e.cfg, e.rand)
+		e.st.Cost = e.resetter.Reset(e.st.Cfg, e.rand)
 	} else {
-		k := int(e.opts.ResetFraction * float64(len(e.cfg)))
+		k := int(e.opts.ResetFraction * float64(len(e.st.Cfg)))
 		if k < 2 {
 			k = 2
 		}
-		perm.PartialShuffle(e.cfg, k, e.rand)
-		e.cost = e.p.Cost(e.cfg)
+		perm.PartialShuffle(e.st.Cfg, k, e.rand)
+		e.st.Cost = e.p.Cost(e.st.Cfg)
 	}
-	e.noteBest(e.cost, e.cfg)
+	e.st.InvalidateErrors()
+	e.noteBest(e.st.Cost, e.st.Cfg)
 }

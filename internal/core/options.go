@@ -48,6 +48,15 @@ type Options struct {
 	// expressed in percent). Must be in [0, 1].
 	ProbSelectLocMin float64
 
+	// Strategy names the search strategy, resolved through the strategy
+	// registry at Solve time ("" selects StrategyAdaptive, classic
+	// Adaptive Search). Built-ins: "adaptive", "random-walk",
+	// "metropolis"; custom strategies plug in via RegisterStrategy.
+	// Because the field is a plain name, Options stays copyable and
+	// each Solve call gets a fresh, race-free strategy instance — the
+	// property multi-walk portfolios rely on.
+	Strategy string
+
 	// FirstBest, when true, stops scanning swap candidates at the first
 	// strictly improving move instead of the best one.
 	FirstBest bool
@@ -57,7 +66,10 @@ type Options struct {
 	// swapping only the worst variable (the C library's ad.exhaustive).
 	// O(n^2) per iteration, but the stronger moves pay off on small,
 	// densely-constrained problems (e.g. the alpha cipher). Tabu marks
-	// are ignored in this mode.
+	// are ignored in this mode. The pair scan replaces the strategy's
+	// variable/move plug points wholesale, so a non-default Strategy
+	// takes precedence: setting one disables Exhaustive (this is what
+	// lets -strategy/-portfolio run on exhaustive-tuned benchmarks).
 	Exhaustive bool
 
 	// Seed seeds the engine's private RNG stream. Two runs with the same
@@ -107,8 +119,14 @@ func DefaultOptions(n int) Options {
 	return o
 }
 
-// normalize fills zero fields with defaults for an n-variable problem.
+// normalize fills zero fields with defaults for an n-variable problem
+// and applies the Strategy-over-Exhaustive precedence (the pair scan
+// bypasses the strategy plug points, so an explicitly selected
+// non-default strategy wins).
 func (o *Options) normalize(n int) {
+	if o.Strategy != "" && o.Strategy != StrategyAdaptive {
+		o.Exhaustive = false
+	}
 	if o.MaxIterations == 0 {
 		it := int64(200 * n)
 		if it < 10_000 {
@@ -149,6 +167,9 @@ func (o *Options) Validate(n int) error {
 	}
 	if o.FreezeLocMin < 0 || o.FreezeSwap < 0 || o.ResetLimit < 0 || o.CheckEvery < 0 {
 		return errors.New("core: freeze/reset/check options must be >= 0")
+	}
+	if o.Strategy != "" && !strategyKnown(o.Strategy) {
+		return unknownStrategyError(o.Strategy)
 	}
 	if o.InitialConfig != nil && len(o.InitialConfig) != n {
 		return fmt.Errorf("core: InitialConfig has %d variables, problem has %d", len(o.InitialConfig), n)

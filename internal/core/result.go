@@ -18,6 +18,10 @@ type Result struct {
 	// Cost is the final global cost: 0 when solved, otherwise the cost
 	// of the best configuration seen in the last run.
 	Cost int
+	// Strategy names the search strategy that produced the result
+	// (Options.Strategy resolved through the registry). Useful when
+	// heterogeneous multi-walk portfolios mix strategies per walker.
+	Strategy string
 
 	// Iterations counts engine iterations summed over all restarts.
 	Iterations int64

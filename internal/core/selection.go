@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+)
+
+// This file holds the concrete strategy implementations: the default
+// Adaptive Search triple (AdaptiveVariable, MinConflictMove,
+// AdaptiveRestart) and the alternative walkers (RandomWalkVariable,
+// MetropolisMove) used by heterogeneous portfolios. The exhaustive
+// pair scan, which bypasses the variable/move split entirely, lives at
+// the bottom as an engine method.
+
+// AdaptiveVariable is the default VariableSelector: it picks the
+// non-frozen variable with the highest projected error, breaking ties
+// uniformly at random, and falls back to a uniformly random index when
+// every variable is frozen — exactly the C library's behavior.
+//
+// When the problem implements ErrorVector the selector scans the
+// incrementally maintained error vector instead of issuing one
+// CostOnVariable call per variable; both paths produce identical
+// selections (and consume the RNG identically), so the fast path never
+// changes a trace.
+type AdaptiveVariable struct{}
+
+// SelectVariable implements VariableSelector. One loop serves both
+// error sources so the tie-break (and its RNG consumption) cannot
+// diverge between the fast and slow paths.
+func (AdaptiveVariable) SelectVariable(s *State) int {
+	worst := -1
+	bestErr := math.MinInt
+	ties := 0
+	errs := s.Errors()
+	for i := range s.Cfg {
+		if s.Frozen(i) {
+			continue
+		}
+		var err int
+		if errs != nil {
+			err = errs[i]
+		} else {
+			err = s.Problem.CostOnVariable(s.Cfg, i)
+		}
+		switch {
+		case err > bestErr:
+			bestErr = err
+			worst = i
+			ties = 1
+		case err == bestErr:
+			ties++
+			if s.Rand.Intn(ties) == 0 {
+				worst = i
+			}
+		}
+	}
+	if worst < 0 {
+		worst = s.Rand.Intn(len(s.Cfg))
+	}
+	return worst
+}
+
+// MinConflictMove is the default MoveSelector: it scans all swap
+// partners for the selected variable and returns the partner minimizing
+// the resulting global cost, ties broken uniformly. Following the
+// original Select_Var_Min_Conflict, "staying put" (j == i, cost
+// unchanged) seeds the candidate pool, so sideways plateau moves
+// compete with it on equal footing and strictly-worse moves are never
+// taken; j == i on return signals a genuine local minimum. With
+// Options.FirstBest set it returns the first strictly improving partner
+// immediately.
+type MinConflictMove struct{}
+
+// SelectMove implements MoveSelector.
+func (MinConflictMove) SelectMove(s *State, i int) (j, cost int) {
+	bestJ := i
+	bestCost := s.Cost
+	ties := 1
+	for cand := range s.Cfg {
+		if cand == i {
+			continue
+		}
+		c := s.Problem.CostIfSwap(s.Cfg, s.Cost, i, cand)
+		switch {
+		case c < bestCost:
+			bestCost = c
+			bestJ = cand
+			ties = 1
+			if s.Opts.FirstBest {
+				return bestJ, bestCost
+			}
+		case c == bestCost:
+			ties++
+			if s.Rand.Intn(ties) == 0 {
+				bestJ = cand
+			}
+		}
+	}
+	return bestJ, bestCost
+}
+
+// AdaptiveRestart is the default RestartPolicy, reproducing the C
+// library's diversification: on a local minimum it either forces a
+// random (possibly uphill) move with probability ProbSelectLocMin, or
+// freezes the variable for FreezeLocMin iterations; when more than
+// ResetLimit variables have been frozen since the last reset it
+// requests a partial reset. Executed swaps freeze both variables for
+// FreezeSwap iterations when that option is set.
+type AdaptiveRestart struct {
+	marked int // variables frozen since the last reset
+}
+
+// NewRun implements RestartPolicy.
+func (p *AdaptiveRestart) NewRun(s *State) { p.marked = 0 }
+
+// OnSwap implements RestartPolicy.
+func (p *AdaptiveRestart) OnSwap(s *State, i, j int) {
+	if f := s.Opts.FreezeSwap; f > 0 {
+		s.Marks[i] = s.Iter + int64(f)
+		s.Marks[j] = s.Iter + int64(f)
+		p.marked += 2
+	}
+}
+
+// OnLocalMinimum implements RestartPolicy.
+func (p *AdaptiveRestart) OnLocalMinimum(s *State, i int) (vi, vj int, reset bool) {
+	o := s.Opts
+	n := len(s.Cfg)
+	if o.ProbSelectLocMin > 0 && s.Rand.Float64() < o.ProbSelectLocMin {
+		// Probabilistic escape: force the move on a random second
+		// variable (possibly uphill), as in the C library's
+		// prob_select_loc_min. In exhaustive mode the pair scan did not
+		// elect a meaningful variable, so re-pick it at random too.
+		if o.Exhaustive {
+			i = s.Rand.Intn(n)
+		}
+		j := s.Rand.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		return i, j, false
+	}
+	s.Marks[i] = s.Iter + int64(o.FreezeLocMin)
+	p.marked++
+	if p.marked > o.ResetLimit {
+		p.marked = 0
+		return i, -1, true
+	}
+	return i, -1, false
+}
+
+// RandomWalkVariable selects a uniformly random non-frozen variable
+// (falling back to a fully random index when everything is frozen),
+// trading the O(n) error projection scan for maximal diversification.
+// Combined with min-conflict moves this yields a random-walk/tabu
+// strategy whose runtime distribution differs from classic Adaptive
+// Search — useful as a portfolio ingredient.
+type RandomWalkVariable struct{}
+
+// SelectVariable implements VariableSelector by reservoir-sampling the
+// non-frozen indices in one pass.
+func (RandomWalkVariable) SelectVariable(s *State) int {
+	pick := -1
+	seen := 0
+	for i := range s.Cfg {
+		if s.Frozen(i) {
+			continue
+		}
+		seen++
+		if s.Rand.Intn(seen) == 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		pick = s.Rand.Intn(len(s.Cfg))
+	}
+	return pick
+}
+
+// MetropolisMove samples Tries random swap partners for the selected
+// variable, keeps the cheapest, and applies the Metropolis acceptance
+// rule to it: improving and sideways moves are always accepted, uphill
+// moves with probability exp(-delta/Temperature). A rejected uphill
+// candidate is reported as a local minimum, falling through to the
+// surrounding RestartPolicy (with the default AdaptiveRestart that
+// still means freezes and resets — the thermal acceptance reduces how
+// often that machinery engages, it does not replace it). Compared to
+// the exhaustive min-conflict scan this trades O(n) swap evaluations
+// per iteration for O(Tries).
+type MetropolisMove struct {
+	// Temperature is the uphill acceptance temperature T > 0. 0 selects
+	// the default of 0.5 (uphill steps of +1 pass ~13% of the time).
+	Temperature float64
+	// Tries is the number of sampled partners per iteration. 0 selects
+	// the default of 8.
+	Tries int
+}
+
+// SelectMove implements MoveSelector.
+func (m *MetropolisMove) SelectMove(s *State, i int) (j, cost int) {
+	temp := m.Temperature
+	if temp <= 0 {
+		temp = 0.5
+	}
+	tries := m.Tries
+	if tries <= 0 {
+		tries = 8
+	}
+	n := len(s.Cfg)
+	bestJ, bestCost := i, math.MaxInt
+	for t := 0; t < tries; t++ {
+		cand := s.Rand.Intn(n - 1)
+		if cand >= i {
+			cand++
+		}
+		c := s.Problem.CostIfSwap(s.Cfg, s.Cost, i, cand)
+		if c < bestCost {
+			bestJ, bestCost = cand, c
+		}
+	}
+	if bestCost <= s.Cost {
+		return bestJ, bestCost
+	}
+	if s.Rand.Float64() < math.Exp(-float64(bestCost-s.Cost)/temp) {
+		return bestJ, bestCost
+	}
+	return i, s.Cost
+}
+
+// selectBestPair scans every unordered variable pair and returns the
+// swap minimizing the resulting cost (Exhaustive mode). "Staying put" is
+// in the tie pool exactly as in MinConflictMove; i == j on return
+// signals a strict local minimum. Tabu marks are ignored. Exhaustive
+// mode replaces the strategy's variable/move selectors wholesale, since
+// a pair scan has no separate variable-selection step.
+func (e *engine) selectBestPair() (i, j, cost int) {
+	n := len(e.st.Cfg)
+	bestI, bestJ := 0, 0
+	bestCost := e.st.Cost
+	ties := 1
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			c := e.p.CostIfSwap(e.st.Cfg, e.st.Cost, a, b)
+			switch {
+			case c < bestCost:
+				bestCost = c
+				bestI, bestJ = a, b
+				ties = 1
+				if e.opts.FirstBest {
+					return bestI, bestJ, bestCost
+				}
+			case c == bestCost:
+				ties++
+				if e.rand.Intn(ties) == 0 {
+					bestI, bestJ = a, b
+				}
+			}
+		}
+	}
+	return bestI, bestJ, bestCost
+}

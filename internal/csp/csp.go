@@ -79,6 +79,7 @@ func (m *Model) Compile() (*Compiled, error) {
 		return nil, fmt.Errorf("csp: model has no constraints")
 	}
 	byVar := make([][]int32, m.n)
+	conVars := make([][]int32, len(m.cons))
 	maxVars := 0
 	for ci, c := range m.cons {
 		if len(c.vars) == 0 {
@@ -98,6 +99,7 @@ func (m *Model) Compile() (*Compiled, error) {
 			if !seen[v] {
 				seen[v] = true
 				byVar[v] = append(byVar[v], int32(ci))
+				conVars[ci] = append(conVars[ci], int32(v))
 			}
 		}
 		if len(c.vars) > maxVars {
@@ -107,7 +109,9 @@ func (m *Model) Compile() (*Compiled, error) {
 	return &Compiled{
 		model:   m,
 		byVar:   byVar,
+		conVars: conVars,
 		viol:    make([]int, len(m.cons)),
+		errVec:  make([]int, m.n),
 		stamp:   make([]int64, len(m.cons)),
 		touched: make([]int32, 0, len(m.cons)),
 		vals:    make([]int, maxVars),
@@ -120,7 +124,17 @@ func (m *Model) Compile() (*Compiled, error) {
 type Compiled struct {
 	model *Model
 	byVar [][]int32
-	viol  []int
+	// conVars lists the distinct variables of each constraint, the
+	// transpose of byVar, used to push violation deltas onto errVec.
+	conVars [][]int32
+	viol    []int
+
+	// errVec caches the per-variable projected errors (the sum of
+	// cached violations over each variable's constraints). It is
+	// updated incrementally by ExecutedSwap and rebuilt lazily after a
+	// full Cost recompute; errValid tracks whether it matches viol.
+	errVec   []int
+	errValid bool
 
 	// stamp/touched implement allocation-free dedup of the constraints
 	// affected by a swap; gen increments per query.
@@ -133,6 +147,7 @@ type Compiled struct {
 
 var _ core.Problem = (*Compiled)(nil)
 var _ core.SwapExecutor = (*Compiled)(nil)
+var _ core.ErrorVector = (*Compiled)(nil)
 
 // Size implements core.Problem.
 func (p *Compiled) Size() int { return p.model.n }
@@ -167,7 +182,9 @@ func (p *Compiled) violationOf(ci int, cfg []int) int {
 	return c.weight * d
 }
 
-// Cost implements core.Problem, rebuilding every cached violation.
+// Cost implements core.Problem, rebuilding every cached violation. The
+// cached error vector is invalidated and rebuilt lazily on the next
+// ErrorsOnVariables call.
 func (p *Compiled) Cost(cfg []int) int {
 	total := 0
 	for ci := range p.model.cons {
@@ -175,6 +192,7 @@ func (p *Compiled) Cost(cfg []int) int {
 		p.viol[ci] = v
 		total += v
 	}
+	p.errValid = false
 	return total
 }
 
@@ -221,11 +239,45 @@ func (p *Compiled) CostIfSwap(cfg []int, cost, i, j int) int {
 }
 
 // ExecutedSwap implements core.SwapExecutor: cfg is already swapped;
-// refresh the cached violations of the affected constraints.
+// refresh the cached violations of the affected constraints and push
+// the deltas onto the cached error vector, keeping the ErrorVector fast
+// path valid without a rebuild.
 func (p *Compiled) ExecutedSwap(cfg []int, i, j int) {
 	for _, ci := range p.affected(i, j) {
-		p.viol[ci] = p.violationOf(int(ci), cfg)
+		v := p.violationOf(int(ci), cfg)
+		if p.errValid {
+			if delta := v - p.viol[ci]; delta != 0 {
+				for _, vr := range p.conVars[ci] {
+					p.errVec[vr] += delta
+				}
+			}
+		}
+		p.viol[ci] = v
 	}
+}
+
+// ErrorsOnVariables implements core.ErrorVector: the engine's batched
+// fast path for worst-variable selection. The vector is maintained
+// incrementally by ExecutedSwap (only constraints touching a swapped
+// variable push deltas) and rebuilt from the cached violations after a
+// full Cost recompute, so the per-iteration O(n) CostOnVariable scan
+// never recomputes constraint sums from scratch.
+func (p *Compiled) ErrorsOnVariables(cfg []int, out []int) {
+	if !p.errValid {
+		for i := range p.errVec {
+			p.errVec[i] = 0
+		}
+		for ci, v := range p.viol {
+			if v == 0 {
+				continue
+			}
+			for _, vr := range p.conVars[ci] {
+				p.errVec[vr] += v
+			}
+		}
+		p.errValid = true
+	}
+	copy(out, p.errVec)
 }
 
 // Violations returns a copy of the per-constraint violations as of the

@@ -248,3 +248,67 @@ func TestCompiledMatchesNaiveEvaluation(t *testing.T) {
 		}
 	}
 }
+
+// TestErrorVectorConsistency drives the compiled model through the
+// engine's Cost / ExecutedSwap call pattern and checks the incremental
+// error vector (the core.ErrorVector fast path) against the
+// per-variable CostOnVariable scan at every step.
+func TestErrorVectorConsistency(t *testing.T) {
+	// A model with overlapping constraints so swaps push deltas onto
+	// shared variables.
+	build := func() *Compiled {
+		m := NewModel(8, 1)
+		m.AddLinearSum("sum012", []int{0, 1, 2}, nil, 12)
+		m.AddLinearSum("sum234", []int{2, 3, 4}, []int{1, 2, 1}, 15)
+		m.AddCustom("even56", []int{5, 6}, func(vals []int) int {
+			return (vals[0] + vals[1]) % 2
+		})
+		m.AddWeighted("spread07", []int{0, 7}, 3, func(vals []int) int {
+			d := vals[0] - vals[1]
+			if d < 0 {
+				d = -d
+			}
+			if d < 3 {
+				return 3 - d
+			}
+			return 0
+		})
+		c, err := m.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	p := build()
+	n := p.Size()
+	r := rng.New(2012)
+	cfg := r.Perm(n)
+	p.Cost(cfg)
+	out := make([]int, n)
+	check := func(step string) {
+		t.Helper()
+		p.ErrorsOnVariables(cfg, out)
+		for i := 0; i < n; i++ {
+			if want := p.CostOnVariable(cfg, i); out[i] != want {
+				t.Fatalf("%s: ErrorsOnVariables[%d] = %d, CostOnVariable = %d",
+					step, i, out[i], want)
+			}
+		}
+	}
+	check("initial")
+	for step := 0; step < 300; step++ {
+		i := r.Intn(n)
+		j := r.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+		p.ExecutedSwap(cfg, i, j)
+		check("after swap")
+		check("repeat query")
+		if step%41 == 0 {
+			p.Cost(cfg)
+			check("after Cost rebuild")
+		}
+	}
+}

@@ -23,6 +23,12 @@
 // a shared board and laggards teleport to a perturbed copy of the best
 // configuration. The paper conjectures (and EXP-A1 confirms) that this
 // is hard pressed to beat the independent scheme.
+//
+// Walks need not be identical: Options.Portfolio assigns weighted
+// shares of the walkers to different engine options — typically
+// different search strategies (core.Options.Strategy) — turning the
+// run into a heterogeneous portfolio while preserving the independent
+// scheme's reproducibility (see DESIGN.md §5).
 package multiwalk
 
 import (
@@ -57,9 +63,38 @@ type Options struct {
 	// fields are overridden by the multi-walk driver).
 	Engine core.Options
 
+	// Portfolio, when non-empty, makes the run heterogeneous: walkers
+	// are assigned to the entries in weighted round-robin order (entry
+	// 0 repeated Weight(0) times, entry 1 Weight(1) times, ..., then
+	// the pattern repeats), and each walker runs the entry's engine
+	// options instead of Engine. Shares are exactly weight-proportional
+	// when Walkers is a multiple of the summed weights; otherwise the
+	// last partial pattern pass favors earlier entries. Assignment
+	// depends only on the walker index, so a portfolio run is exactly
+	// as reproducible as a homogeneous one: RunVirtual is deterministic
+	// given (problem, options, seed). Engine is ignored when Portfolio
+	// is set.
+	Portfolio []PortfolioEntry
+
 	// Exchange enables the dependent multi-walk scheme. The zero value
 	// keeps walks fully independent, as in the paper's experiments.
 	Exchange ExchangeOptions
+}
+
+// PortfolioEntry assigns engine options — typically differing in
+// Options.Strategy, but any tunable may vary — to a weighted share of
+// the walkers. Heterogeneous portfolios are the natural extension of
+// the paper's independent multi-walk scheme: diversity across walkers
+// is what the min-of-k runtime distribution feeds on, and mixing
+// strategies diversifies the distributions themselves.
+type PortfolioEntry struct {
+	// Weight is the entry's relative share of walkers. 0 counts as 1;
+	// negative weights are rejected, as are entries made unreachable
+	// because the weight slots before them already cover every walker.
+	Weight int
+	// Engine holds the entry's engine options (Seed and Monitor are
+	// overridden by the multi-walk driver, as with Options.Engine).
+	Engine core.Options
 }
 
 // ExchangeOptions tunes the dependent multiple-walk communication
@@ -87,8 +122,12 @@ type ExchangeOptions struct {
 type WalkerStat struct {
 	// Walker is the walker index in [0, k).
 	Walker int
+	// Entry is the index of the portfolio entry this walker ran, or -1
+	// for a homogeneous run.
+	Entry int
 	// Result is the walker's engine result. In Run, losers are usually
 	// Interrupted; in RunVirtual every walker runs to completion.
+	// Result.Strategy names the strategy the walker used.
 	Result core.Result
 	// Adoptions counts elite-configuration adoptions (dependent mode).
 	Adoptions int64
@@ -119,6 +158,26 @@ type Result struct {
 func (o *Options) validate() error {
 	if o.Walkers < 1 {
 		return fmt.Errorf("multiwalk: Walkers must be >= 1, got %d", o.Walkers)
+	}
+	prefix := 0
+	for i := range o.Portfolio {
+		if o.Portfolio[i].Weight < 0 {
+			return fmt.Errorf("multiwalk: Portfolio[%d].Weight must be >= 0, got %d", i, o.Portfolio[i].Weight)
+		}
+		// An entry is assigned at least one walker iff some walker
+		// index lands in its pattern slots, i.e. the weight prefix
+		// before it is below Walkers; reject unreachable entries rather
+		// than silently degenerating the requested mix.
+		if prefix >= o.Walkers {
+			return fmt.Errorf("multiwalk: Portfolio[%d] is unreachable: the %d weight slots before it already cover all %d walkers", i, prefix, o.Walkers)
+		}
+		prefix += weightOf(o.Portfolio[i])
+		if prefix > o.Walkers {
+			// Only "covers all walkers" matters from here on; clamping
+			// also guards the sum against integer overflow from huge
+			// weights.
+			prefix = o.Walkers
+		}
 	}
 	if o.Exchange.Enabled {
 		if o.Exchange.Period == 0 {
@@ -156,6 +215,7 @@ func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
 	}
 
 	seeds := walkerSeeds(opts.Seed, opts.Walkers)
+	pattern := portfolioPattern(opts.Portfolio, opts.Walkers)
 	var board *exchangeBoard
 	if opts.Exchange.Enabled {
 		board = newExchangeBoard()
@@ -172,11 +232,17 @@ func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			stat, err := runWalker(runCtx, factory, opts, w, seeds[w], board)
+			eo, entry := opts.engineFor(pattern, w)
+			stat, err := runWalker(runCtx, factory, eo, opts.Exchange, w, entry, seeds[w], board)
 			stats[w] = stat
 			errs[w] = err
-			if err == nil && stat.Result.Solved {
-				cancel() // completion detection: first solution wins
+			if err != nil || stat.Result.Solved {
+				// Completion detection: the first solution wins. A
+				// walker error (bad per-entry options, factory failure)
+				// also cancels the run — the error is returned either
+				// way, so letting the healthy walkers burn the deadline
+				// first would only delay it.
+				cancel()
 			}
 		}(w)
 	}
@@ -214,10 +280,12 @@ func RunVirtual(ctx context.Context, factory Factory, opts Options) (Result, err
 	}
 
 	seeds := walkerSeeds(opts.Seed, opts.Walkers)
+	pattern := portfolioPattern(opts.Portfolio, opts.Walkers)
 	start := time.Now()
 	stats := make([]WalkerStat, opts.Walkers)
 	for w := 0; w < opts.Walkers; w++ {
-		stat, err := runWalker(ctx, factory, opts, w, seeds[w], nil)
+		eo, entry := opts.engineFor(pattern, w)
+		stat, err := runWalker(ctx, factory, eo, opts.Exchange, w, entry, seeds[w], nil)
 		if err != nil {
 			return Result{}, err
 		}
@@ -241,17 +309,60 @@ func walkerSeeds(seed uint64, k int) []uint64 {
 	return seeds
 }
 
-// runWalker builds a fresh problem instance and runs one engine.
-func runWalker(ctx context.Context, factory Factory, opts Options, w int, seed uint64, board *exchangeBoard) (WalkerStat, error) {
+// weightOf is the single place the zero-counts-as-1 weight rule lives,
+// shared by validate's reachability check and the pattern expansion so
+// the two cannot drift apart.
+func weightOf(e PortfolioEntry) int {
+	if e.Weight == 0 {
+		return 1
+	}
+	return e.Weight
+}
+
+// portfolioPattern expands the weighted portfolio entries into the
+// repeating walker-assignment pattern (entry indices), or nil for a
+// homogeneous run. The expansion is capped at walkers slots: engineFor
+// only ever reads indices below walkers, so truncating the tail changes
+// no assignment while keeping arbitrarily large weights (which validate
+// accepts on the last reachable entry) from materializing huge slices.
+func portfolioPattern(entries []PortfolioEntry, walkers int) []int {
+	if len(entries) == 0 {
+		return nil
+	}
+	pattern := make([]int, 0, walkers)
+	for idx, e := range entries {
+		for r := 0; r < weightOf(e); r++ {
+			if len(pattern) == walkers {
+				return pattern
+			}
+			pattern = append(pattern, idx)
+		}
+	}
+	return pattern
+}
+
+// engineFor resolves the engine options and portfolio entry index of
+// walker w. Homogeneous runs (empty pattern) use Options.Engine and
+// entry -1.
+func (o *Options) engineFor(pattern []int, w int) (core.Options, int) {
+	if len(pattern) == 0 {
+		return o.Engine, -1
+	}
+	idx := pattern[w%len(pattern)]
+	return o.Portfolio[idx].Engine, idx
+}
+
+// runWalker builds a fresh problem instance and runs one engine with
+// the resolved per-walker options.
+func runWalker(ctx context.Context, factory Factory, eo core.Options, exch ExchangeOptions, w, entry int, seed uint64, board *exchangeBoard) (WalkerStat, error) {
 	p, err := factory()
 	if err != nil {
 		return WalkerStat{}, fmt.Errorf("multiwalk: walker %d factory: %w", w, err)
 	}
-	eo := opts.Engine
 	eo.Seed = seed
-	stat := WalkerStat{Walker: w}
+	stat := WalkerStat{Walker: w, Entry: entry}
 	if board != nil {
-		eo.Monitor = board.monitor(&stat, opts.Exchange, p.Size(), seed)
+		eo.Monitor = board.monitor(&stat, exch, p.Size(), seed)
 	} else {
 		eo.Monitor = nil
 	}

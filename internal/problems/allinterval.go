@@ -29,6 +29,15 @@ func init() {
 type AllInterval struct {
 	n   int
 	occ []int // occ[d] = number of adjacent pairs with difference d
+
+	// errVec caches the per-variable projected errors (the ErrorVector
+	// fast path). A swap can change the duplicated-ness of edges away
+	// from the swapped positions (when an occurrence count crosses the
+	// >1 threshold), so ExecutedSwap/Cost invalidate the cache and it
+	// is rebuilt lazily in one pass over the n-1 edges — no per-variable
+	// interface calls, and frozen (no-move) iterations reuse it as is.
+	errVec   []int
+	errValid bool
 }
 
 // NewAllInterval returns an instance with n variables; n must be >= 2.
@@ -36,8 +45,13 @@ func NewAllInterval(n int) (*AllInterval, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("all-interval: size must be >= 2, got %d", n)
 	}
-	return &AllInterval{n: n, occ: make([]int, n)}, nil
+	return &AllInterval{n: n, occ: make([]int, n), errVec: make([]int, n)}, nil
 }
+
+var (
+	_ core.SwapExecutor = (*AllInterval)(nil)
+	_ core.ErrorVector  = (*AllInterval)(nil)
+)
 
 // Name implements core.Namer.
 func (a *AllInterval) Name() string { return "all-interval" }
@@ -59,6 +73,7 @@ func (a *AllInterval) Cost(cfg []int) int {
 			cost += d
 		}
 	}
+	a.errValid = false
 	return cost
 }
 
@@ -159,6 +174,25 @@ func (a *AllInterval) ExecutedSwap(cfg []int, i, j int) {
 		e := edges[k]
 		a.occ[abs(cfg[e+1]-cfg[e])]++
 	}
+	a.errValid = false
+}
+
+// ErrorsOnVariables implements core.ErrorVector, rebuilding the cached
+// vector lazily in one pass over the adjacent-difference edges.
+func (a *AllInterval) ErrorsOnVariables(cfg []int, out []int) {
+	if !a.errValid {
+		for i := range a.errVec {
+			a.errVec[i] = 0
+		}
+		for e := 0; e+1 < a.n; e++ {
+			if a.occ[abs(cfg[e+1]-cfg[e])] > 1 {
+				a.errVec[e]++
+				a.errVec[e+1]++
+			}
+		}
+		a.errValid = true
+	}
+	copy(out, a.errVec)
 }
 
 // Tune implements core.Tuner with the C benchmark's character: a strong

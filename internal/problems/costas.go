@@ -32,6 +32,17 @@ func init() {
 type Costas struct {
 	n   int
 	occ [][]int16 // occ[d-1][diff+n-1] for d in 1..n-1
+
+	// errVec caches the per-column projected errors (the ErrorVector
+	// fast path). A swap can flip the duplicated-ness of pairs that do
+	// not involve the swapped columns (whenever an occurrence count
+	// crosses the >1 threshold), so the cache is invalidated by
+	// ExecutedSwap/Cost and rebuilt lazily in one half-matrix pass —
+	// visiting each pair once instead of twice as the per-variable
+	// CostOnVariable scan does, and serving frozen (no-move) iterations
+	// for free.
+	errVec   []int
+	errValid bool
 }
 
 // NewCostas returns a Costas instance of order n; n must be >= 1.
@@ -45,8 +56,13 @@ func NewCostas(n int) (*Costas, error) {
 	for d := range occ {
 		occ[d] = make([]int16, 2*n-1)
 	}
-	return &Costas{n: n, occ: occ}, nil
+	return &Costas{n: n, occ: occ, errVec: make([]int, n)}, nil
 }
+
+var (
+	_ core.SwapExecutor = (*Costas)(nil)
+	_ core.ErrorVector  = (*Costas)(nil)
+)
 
 // Name implements core.Namer.
 func (c *Costas) Name() string { return "costas" }
@@ -74,6 +90,7 @@ func (c *Costas) Cost(cfg []int) int {
 			c.occ[d][v]++
 		}
 	}
+	c.errValid = false
 	return cost
 }
 
@@ -169,6 +186,33 @@ func (c *Costas) ExecutedSwap(cfg []int, i, j int) {
 	c.forEachAffectedPair(i, j, func(lo, hi int) {
 		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+c.n-1]++
 	})
+	c.errValid = false
+}
+
+// ErrorsOnVariables implements core.ErrorVector. The vector is rebuilt
+// lazily after an invalidating swap by one pass over the pair
+// half-matrix; iterations that froze a variable instead of moving reuse
+// the cached vector unchanged.
+func (c *Costas) ErrorsOnVariables(cfg []int, out []int) {
+	if !c.errValid {
+		n := c.n
+		for i := range c.errVec {
+			c.errVec[i] = 0
+		}
+		// Walk distance by distance so each occurrence row is hoisted
+		// out of the inner loop.
+		for d1 := range c.occ {
+			row := c.occ[d1]
+			for lo, hi := 0, d1+1; hi < n; lo, hi = lo+1, hi+1 {
+				if row[cfg[hi]-cfg[lo]+n-1] > 1 {
+					c.errVec[lo]++
+					c.errVec[hi]++
+				}
+			}
+		}
+		c.errValid = true
+	}
+	copy(out, c.errVec)
 }
 
 // Tune implements core.Tuner. Costas landscapes reward frequent resets

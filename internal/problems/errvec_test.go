@@ -1,0 +1,126 @@
+package problems
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// errVecProblem is the intersection the ErrorVector consistency tests
+// exercise: the full engine contract plus the batched error fast path.
+type errVecProblem interface {
+	core.Problem
+	core.SwapExecutor
+	core.ErrorVector
+}
+
+// checkErrVecAgainstScan verifies the ErrorVector contract at the
+// current configuration: ErrorsOnVariables must report exactly what a
+// per-variable CostOnVariable scan reports.
+func checkErrVecAgainstScan(t *testing.T, p errVecProblem, cfg []int, step string) {
+	t.Helper()
+	n := p.Size()
+	out := make([]int, n)
+	p.ErrorsOnVariables(cfg, out)
+	for i := 0; i < n; i++ {
+		if want := p.CostOnVariable(cfg, i); out[i] != want {
+			t.Fatalf("%s: ErrorsOnVariables[%d] = %d, CostOnVariable = %d (cfg %v)",
+				step, i, out[i], want, cfg)
+		}
+	}
+}
+
+// TestErrorVectorConsistency drives each incremental encoding through a
+// random walk of swaps (mirroring the engine's Cost / ExecutedSwap
+// call pattern, including occasional full Cost rebuilds) and checks the
+// batched error vector against the per-variable scan at every step.
+func TestErrorVectorConsistency(t *testing.T) {
+	builders := map[string]func() errVecProblem{
+		"magic-square": func() errVecProblem { p, _ := NewMagicSquare(5); return p },
+		"costas":       func() errVecProblem { p, _ := NewCostas(9); return p },
+		"all-interval": func() errVecProblem { p, _ := NewAllInterval(12); return p },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			p := build()
+			n := p.Size()
+			r := rng.New(2012)
+			cfg := r.Perm(n)
+			p.Cost(cfg)
+			checkErrVecAgainstScan(t, p, cfg, "initial")
+			for step := 0; step < 200; step++ {
+				i := r.Intn(n)
+				j := r.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				cfg[i], cfg[j] = cfg[j], cfg[i]
+				p.ExecutedSwap(cfg, i, j)
+				checkErrVecAgainstScan(t, p, cfg, "after swap")
+				// Interleave repeated queries (a frozen iteration) and
+				// periodic full rebuilds (a partial reset).
+				checkErrVecAgainstScan(t, p, cfg, "repeat query")
+				if step%37 == 0 {
+					p.Cost(cfg)
+					checkErrVecAgainstScan(t, p, cfg, "after Cost rebuild")
+				}
+			}
+		})
+	}
+}
+
+// TestErrorVectorSolveTraceUnchanged pins the fast path to the slow
+// path end to end: hiding the ErrorVector interface from the engine
+// must not change the search trace for a fixed seed.
+func TestErrorVectorSolveTraceUnchanged(t *testing.T) {
+	cases := []struct {
+		name string
+		size int
+	}{
+		{"magic-square", 5},
+		{"costas", 10},
+		{"all-interval", 14},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := New(tc.name, tc.size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowBase, err := New(tc.name, tc.size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.TunedOptions(fast)
+			opts.Seed = 77
+			a, err := core.Solve(context.Background(), fast, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.Solve(context.Background(), hideErrVec{slowBase}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Iterations != b.Iterations || a.Swaps != b.Swaps ||
+				a.LocalMinima != b.LocalMinima || a.Resets != b.Resets {
+				t.Fatalf("fast path changed the trace:\nfast: %v\nslow: %v", a, b)
+			}
+		})
+	}
+}
+
+// hideErrVec forwards the engine contract but hides ErrorVector,
+// forcing the per-variable CostOnVariable path.
+type hideErrVec struct{ p core.Problem }
+
+func (h hideErrVec) Size() int                             { return h.p.Size() }
+func (h hideErrVec) Cost(cfg []int) int                    { return h.p.Cost(cfg) }
+func (h hideErrVec) CostOnVariable(cfg []int, i int) int   { return h.p.CostOnVariable(cfg, i) }
+func (h hideErrVec) CostIfSwap(cfg []int, c, i, j int) int { return h.p.CostIfSwap(cfg, c, i, j) }
+func (h hideErrVec) ExecutedSwap(cfg []int, i, j int) {
+	if sw, ok := h.p.(core.SwapExecutor); ok {
+		sw.ExecutedSwap(cfg, i, j)
+	}
+}

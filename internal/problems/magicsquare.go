@@ -29,6 +29,13 @@ type MagicSquare struct {
 	col  []int
 	d1   int // main diagonal (r == c)
 	d2   int // anti-diagonal (r + c == n-1)
+
+	// errVec caches the per-cell projected errors (the ErrorVector
+	// fast path). ExecutedSwap refreshes only the cells on lines whose
+	// sum changed — O(side) work instead of the O(side^2) per-iteration
+	// scan — and Cost invalidates it for a lazy rebuild.
+	errVec   []int
+	errValid bool
 }
 
 // NewMagicSquare returns an instance with side n (n*n variables).
@@ -41,12 +48,18 @@ func NewMagicSquare(n int) (*MagicSquare, error) {
 		return nil, fmt.Errorf("magic-square: no 2x2 magic square exists")
 	}
 	return &MagicSquare{
-		side: n,
-		m:    n * (n*n + 1) / 2,
-		row:  make([]int, n),
-		col:  make([]int, n),
+		side:   n,
+		m:      n * (n*n + 1) / 2,
+		row:    make([]int, n),
+		col:    make([]int, n),
+		errVec: make([]int, n*n),
 	}, nil
 }
+
+var (
+	_ core.SwapExecutor = (*MagicSquare)(nil)
+	_ core.ErrorVector  = (*MagicSquare)(nil)
+)
 
 // Name implements core.Namer.
 func (ms *MagicSquare) Name() string { return "magic-square" }
@@ -81,6 +94,7 @@ func (ms *MagicSquare) Cost(cfg []int) int {
 	for i := 0; i < n; i++ {
 		cost += abs(ms.row[i]-ms.m) + abs(ms.col[i]-ms.m)
 	}
+	ms.errValid = false
 	return cost
 }
 
@@ -190,6 +204,70 @@ func (ms *MagicSquare) ExecutedSwap(cfg []int, i, j int) {
 			ms.d2 += d
 		}
 	}
+	if ms.errValid {
+		// A cell's projected error is a sum of its lines' deviations,
+		// so only cells on lines whose sum changed need refreshing.
+		for k := 0; k < ld.n; k++ {
+			if ld.deltas[k] != 0 {
+				ms.refreshLineErrors(ld.ids[k])
+			}
+		}
+	}
+}
+
+// refreshLineErrors recomputes the cached error of every cell on the
+// identified line from the current line-sum deviations.
+func (ms *MagicSquare) refreshLineErrors(id int) {
+	n := ms.side
+	switch {
+	case id < n: // row id
+		for c := 0; c < n; c++ {
+			ms.refreshCellError(id*n + c)
+		}
+	case id < 2*n: // column id-n
+		for r := 0; r < n; r++ {
+			ms.refreshCellError(r*n + (id - n))
+		}
+	case id == 2*n: // main diagonal
+		for r := 0; r < n; r++ {
+			ms.refreshCellError(r*n + r)
+		}
+	default: // anti-diagonal
+		for r := 0; r < n; r++ {
+			ms.refreshCellError(r*n + (n - 1 - r))
+		}
+	}
+}
+
+// refreshCellError recomputes errVec[k] from the cached line sums; the
+// value matches CostOnVariable exactly (it depends only on the lines
+// through the cell, not on the cell's value).
+func (ms *MagicSquare) refreshCellError(k int) {
+	n := ms.side
+	r, c := k/n, k%n
+	e := abs(ms.row[r]-ms.m) + abs(ms.col[c]-ms.m)
+	if r == c {
+		e += abs(ms.d1 - ms.m)
+	}
+	if r+c == n-1 {
+		e += abs(ms.d2 - ms.m)
+	}
+	ms.errVec[k] = e
+}
+
+// ErrorsOnVariables implements core.ErrorVector: the batched fast path
+// for worst-variable selection. ExecutedSwap keeps the vector current
+// by refreshing only the cells on changed lines; after a full Cost
+// recompute (run start, partial reset, teleport) the vector is rebuilt
+// here once.
+func (ms *MagicSquare) ErrorsOnVariables(cfg []int, out []int) {
+	if !ms.errValid {
+		for k := range ms.errVec {
+			ms.refreshCellError(k)
+		}
+		ms.errValid = true
+	}
+	copy(out, ms.errVec)
 }
 
 // Tune implements core.Tuner following the C benchmark's settings: magic

@@ -1,0 +1,163 @@
+package problems
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Hot-loop micro-benchmarks for the engine's two selection primitives
+// on the paper's benchmarks, with and without the ErrorVector fast
+// path. The "errvec" variants serve worst-variable selection from the
+// incrementally maintained error cache; the "scan" variants hide the
+// ErrorVector interface (via hideErrVec) and fall back to one
+// CostOnVariable call per variable per selection, which is what every
+// iteration paid before the cache existed. Each benchmark iteration
+// also executes a random swap through ExecutedSwap so the cache's
+// invalidation/update cost is charged to the fast path honestly.
+
+// benchProblem builds the instance, optionally hiding ErrorVector.
+func benchProblem(b *testing.B, name string, size int, hide bool) core.Problem {
+	b.Helper()
+	p, err := New(name, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hide {
+		return hideErrVec{p}
+	}
+	return p
+}
+
+// randomSwap executes one random swap on the state, keeping the
+// problem's incremental caches in sync — the engine's doSwap without
+// the bookkeeping.
+func randomSwap(st *core.State, p core.Problem, r *rng.Rand) {
+	n := len(st.Cfg)
+	i := r.Intn(n)
+	j := r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	c := p.CostIfSwap(st.Cfg, st.Cost, i, j)
+	st.Cfg[i], st.Cfg[j] = st.Cfg[j], st.Cfg[i]
+	if sw, ok := p.(core.SwapExecutor); ok {
+		sw.ExecutedSwap(st.Cfg, i, j)
+	}
+	st.Cost = c
+	st.Iter++
+	st.InvalidateErrors()
+}
+
+func benchmarkSelectWorstVariable(b *testing.B, name string, size int, hide bool) {
+	p := benchProblem(b, name, size, hide)
+	st := core.NewState(p, core.Options{}, 1, nil)
+	r := rng.New(7)
+	sel := core.AdaptiveVariable{}
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		_ = sel.SelectVariable(st)
+		randomSwap(st, p, r)
+	}
+}
+
+func benchmarkSelectBestSwap(b *testing.B, name string, size int, hide bool) {
+	p := benchProblem(b, name, size, hide)
+	st := core.NewState(p, core.Options{}, 1, nil)
+	r := rng.New(7)
+	varSel := core.AdaptiveVariable{}
+	moveSel := core.MinConflictMove{}
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		i := varSel.SelectVariable(st)
+		_, _ = moveSel.SelectMove(st, i)
+		randomSwap(st, p, r)
+	}
+}
+
+func BenchmarkSelectWorstVariableMagicSquare10Scan(b *testing.B) {
+	benchmarkSelectWorstVariable(b, "magic-square", 10, true)
+}
+
+func BenchmarkSelectWorstVariableMagicSquare10ErrVec(b *testing.B) {
+	benchmarkSelectWorstVariable(b, "magic-square", 10, false)
+}
+
+func BenchmarkSelectWorstVariableCostas14Scan(b *testing.B) {
+	benchmarkSelectWorstVariable(b, "costas", 14, true)
+}
+
+func BenchmarkSelectWorstVariableCostas14ErrVec(b *testing.B) {
+	benchmarkSelectWorstVariable(b, "costas", 14, false)
+}
+
+func BenchmarkSelectBestSwapMagicSquare10Scan(b *testing.B) {
+	benchmarkSelectBestSwap(b, "magic-square", 10, true)
+}
+
+func BenchmarkSelectBestSwapMagicSquare10ErrVec(b *testing.B) {
+	benchmarkSelectBestSwap(b, "magic-square", 10, false)
+}
+
+func BenchmarkSelectBestSwapCostas14Scan(b *testing.B) {
+	benchmarkSelectBestSwap(b, "costas", 14, true)
+}
+
+func BenchmarkSelectBestSwapCostas14ErrVec(b *testing.B) {
+	benchmarkSelectBestSwap(b, "costas", 14, false)
+}
+
+// The Solve benchmarks measure the end-to-end iteration rate with the
+// fast path on vs off — the acceptance bar for the error cache. The
+// microbenchmarks above charge a swap to every selection; a real search
+// also has freeze iterations (local minima that do not move), which the
+// cache serves for free, so the end-to-end delta is the honest number.
+func BenchmarkSolveMagicSquare10ErrVec(b *testing.B) {
+	benchmarkSolveIterRate(b, "magic-square", 10, false)
+}
+
+func BenchmarkSolveMagicSquare10Scan(b *testing.B) {
+	benchmarkSolveIterRate(b, "magic-square", 10, true)
+}
+
+func BenchmarkSolveCostas14ErrVec(b *testing.B) {
+	benchmarkSolveIterRate(b, "costas", 14, false)
+}
+
+func BenchmarkSolveCostas14Scan(b *testing.B) {
+	benchmarkSolveIterRate(b, "costas", 14, true)
+}
+
+func BenchmarkSolveAllInterval24ErrVec(b *testing.B) {
+	benchmarkSolveIterRate(b, "all-interval", 24, false)
+}
+
+func BenchmarkSolveAllInterval24Scan(b *testing.B) {
+	benchmarkSolveIterRate(b, "all-interval", 24, true)
+}
+
+func benchmarkSolveIterRate(b *testing.B, name string, size int, hide bool) {
+	var iters int64
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		raw, err := New(name, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Tune from the raw problem so both variants run identical
+		// engine options (hideErrVec does not forward the Tuner hook).
+		opts := core.TunedOptions(raw)
+		opts.Seed = uint64(k) + 1
+		p := raw
+		if hide {
+			p = hideErrVec{raw}
+		}
+		res, err := core.Solve(nil, p, opts) //nolint:staticcheck // nil ctx is part of the API
+		if err != nil || !res.Solved {
+			b.Fatalf("%v %v", res, err)
+		}
+		iters += res.Iterations
+	}
+	b.ReportMetric(float64(iters)/b.Elapsed().Seconds(), "iters/s")
+}
