@@ -2,11 +2,13 @@ package repro
 
 import (
 	"context"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/csp"
 	"repro/internal/multiwalk"
 	"repro/internal/problems"
+	"repro/internal/service"
 )
 
 // Problem is the permutation-CSP interface solved by the Adaptive
@@ -126,6 +128,44 @@ func DescribeBenchmark(name string) (ProblemInfo, error) { return problems.Descr
 // NewModel starts a declarative CSP over n variables whose values are
 // cfg[i] + valueOffset.
 func NewModel(n, valueOffset int) *Model { return csp.NewModel(n, valueOffset) }
+
+// SolveService is the admission-controlled job scheduler serving many
+// concurrent solve requests over a bounded walker-slot pool — the
+// serving layer of the multi-walk solver (see DESIGN.md §7).
+type SolveService = service.Scheduler
+
+// ServiceConfig sizes a SolveService (slots, queue depth, deadlines,
+// result TTL); the zero value selects defaults.
+type ServiceConfig = service.Config
+
+// SolveRequest describes one job submitted to a SolveService.
+type SolveRequest = service.Request
+
+// SolveJob is an immutable snapshot of a service job.
+type SolveJob = service.Job
+
+// JobState is a service job's lifecycle state (queued, running,
+// solved, unsolved, cancelled, failed).
+type JobState = service.State
+
+// ServiceStats is the metrics snapshot a SolveService exposes.
+type ServiceStats = service.Stats
+
+// Typed service errors, for embedders of SolveService.
+var (
+	ErrQueueFull  = service.ErrQueueFull
+	ErrBadRequest = service.ErrBadRequest
+	ErrJobUnknown = service.ErrNotFound
+	ErrClosed     = service.ErrClosed
+)
+
+// NewSolveService starts an admission-controlled solve scheduler.
+// Close it to cancel outstanding jobs and release every goroutine.
+func NewSolveService(cfg ServiceConfig) *SolveService { return service.New(cfg) }
+
+// NewServiceHandler exposes a SolveService over the HTTP JSON API
+// served by cmd/serve (POST /v1/solve, GET /v1/jobs/{id}, ...).
+func NewServiceHandler(s *SolveService) http.Handler { return service.NewHandler(s) }
 
 // RegisterStrategy adds a named strategy factory to the global
 // registry, making it selectable through Options.Strategy (and thus

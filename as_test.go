@@ -95,3 +95,21 @@ func TestFacadeDefaultSizes(t *testing.T) {
 		t.Fatalf("langford default size = %d", p.Size())
 	}
 }
+
+func TestFacadeSolveService(t *testing.T) {
+	svc := NewSolveService(ServiceConfig{Slots: 2})
+	defer svc.Close()
+	job, err := svc.SubmitWait(context.Background(), SolveRequest{Problem: "costas", Size: 8, Seed: 1, TimeoutMS: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobState("solved") || job.Result == nil || !job.Result.Solved {
+		t.Fatalf("service job: %+v", job)
+	}
+	if NewServiceHandler(svc) == nil {
+		t.Fatal("nil HTTP handler")
+	}
+	if svc.Stats().JobsSolved != 1 {
+		t.Fatalf("stats: %+v", svc.Stats())
+	}
+}

@@ -1,0 +1,101 @@
+// Command serve runs the solve service: an HTTP JSON API over the
+// admission-controlled multi-walk job scheduler (internal/service).
+//
+// Usage:
+//
+//	serve -addr :8080 -slots 8 -queue 256 -default-timeout 30s -ttl 10m
+//
+// Endpoints:
+//
+//	POST /v1/solve              submit a job ({"wait": true} for sync)
+//	GET  /v1/jobs/{id}          job status / result
+//	POST /v1/jobs/{id}/cancel   cancel a job
+//	GET  /v1/problems           registered benchmarks and strategies
+//	GET  /healthz               liveness + pool headroom
+//	GET  /metrics               scheduler counters (JSON)
+//	GET  /debug/vars            process-wide expvar (memstats etc.)
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener drains,
+// then the scheduler cancels queued and running jobs and waits for
+// every walker goroutine to exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		slots          = flag.Int("slots", 0, "walker-slot pool size (0 = GOMAXPROCS)")
+		queueDepth     = flag.Int("queue", 0, "admission queue depth (0 = 256)")
+		defaultTimeout = flag.Duration("default-timeout", 0, "per-job deadline when the request sets none (0 = 30s)")
+		maxTimeout     = flag.Duration("max-timeout", 0, "cap on request-supplied deadlines (0 = 5m)")
+		ttl            = flag.Duration("ttl", 0, "finished-job retention (0 = 10m)")
+	)
+	flag.Parse()
+
+	sched := service.New(service.Config{
+		Slots:          *slots,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		ResultTTL:      *ttl,
+	})
+	expvar.Publish("scheduler", expvar.Func(func() any { return sched.Stats() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(sched))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		cfg := sched.Config()
+		log.Printf("serve: listening on %s (slots=%d queue=%d default-timeout=%v ttl=%v)",
+			*addr, cfg.Slots, cfg.QueueDepth, cfg.DefaultTimeout, cfg.ResultTTL)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		sched.Close()
+		return err
+	case sig := <-stop:
+		log.Printf("serve: %v — shutting down", sig)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("serve: listener shutdown: %v", err)
+	}
+	sched.Close()
+	log.Printf("serve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,305 @@
+// Command loadgen hammers a solve service with a mixed
+// problem/portfolio workload and reports throughput, latency
+// percentiles and per-outcome counts. It is both a benchmarking tool
+// and the serving-path smoke test run in CI.
+//
+// Usage:
+//
+//	loadgen -inprocess -jobs 200 -concurrency 32            # self-hosted smoke
+//	loadgen -addr http://localhost:8080 -jobs 1000          # against cmd/serve
+//
+// Every job must reach a terminal state; dropped results, failed jobs
+// or unexpected HTTP statuses make the process exit non-zero. 429
+// backpressure responses are retried with backoff — admission control
+// rejecting excess load is correct behavior, losing an admitted job is
+// not.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// scenario is one entry of the mixed workload.
+type scenario struct {
+	name string
+	req  map[string]any
+}
+
+func scenarios(timeoutMS int64) []scenario {
+	return []scenario{
+		{"costas-8", map[string]any{"problem": "costas", "size": 8, "walkers": 1, "timeout_ms": timeoutMS}},
+		{"costas-10x2", map[string]any{"problem": "costas", "size": 10, "walkers": 2, "timeout_ms": timeoutMS}},
+		{"queens-32", map[string]any{"problem": "queens", "size": 32, "walkers": 1, "timeout_ms": timeoutMS}},
+		{"all-interval-10", map[string]any{"problem": "all-interval", "size": 10, "walkers": 2, "timeout_ms": timeoutMS}},
+		{"magic-square-5", map[string]any{"problem": "magic-square", "size": 5, "walkers": 1, "timeout_ms": timeoutMS}},
+		{"portfolio-costas-9", map[string]any{
+			"problem": "costas", "size": 9, "walkers": 2, "timeout_ms": timeoutMS,
+			"portfolio": []map[string]any{{"strategy": "adaptive", "weight": 1}, {"strategy": "metropolis", "weight": 1}},
+		}},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "", "target service base URL (empty with -inprocess)")
+		inprocess   = flag.Bool("inprocess", false, "spin up the service in-process instead of targeting -addr")
+		jobs        = flag.Int("jobs", 200, "total jobs to submit")
+		concurrency = flag.Int("concurrency", 32, "concurrent client workers")
+		timeoutMS   = flag.Int64("job-timeout-ms", 15_000, "per-job solver deadline")
+		slots       = flag.Int("slots", 0, "in-process pool size (0 = GOMAXPROCS)")
+		queueDepth  = flag.Int("queue", 0, "in-process queue depth (0 = 256)")
+		asyncEvery  = flag.Int("async-every", 5, "poll instead of wait for every n-th job (0 = always wait)")
+		seed        = flag.Int64("seed", 1, "workload shuffle seed")
+	)
+	flag.Parse()
+
+	base := *addr
+	client := http.DefaultClient
+	if *inprocess {
+		sched := service.New(service.Config{Slots: *slots, QueueDepth: *queueDepth})
+		srv := httptest.NewServer(service.NewHandler(sched))
+		defer func() {
+			srv.Close()
+			sched.Close()
+			fmt.Println("clean shutdown: scheduler drained")
+		}()
+		base = srv.URL
+		client = srv.Client()
+	}
+	if base == "" {
+		return fmt.Errorf("need -addr or -inprocess")
+	}
+
+	// Clamp scenario walker counts to the server's pool size (a
+	// k-walker job needs k slots) so the mix adapts to any machine —
+	// single-core CI included.
+	poolSlots, err := serverSlots(client, base)
+	if err != nil {
+		return fmt.Errorf("probing %s/healthz: %w", base, err)
+	}
+	mix := scenarios(*timeoutMS)
+	for _, sc := range mix {
+		w, ok := sc.req["walkers"].(int)
+		if !ok {
+			continue
+		}
+		if w > poolSlots {
+			w = poolSlots
+			sc.req["walkers"] = w
+		}
+		// A portfolio entry beyond the walker count is unreachable and
+		// rejected at admission; trim the mix to fit.
+		if pf, ok := sc.req["portfolio"].([]map[string]any); ok && len(pf) > w {
+			sc.req["portfolio"] = pf[:w]
+		}
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	order := make([]int, *jobs)
+	for i := range order {
+		order[i] = rng.Intn(len(mix))
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		outcomes  = map[service.State]int{}
+		perScen   = map[string]int{}
+		retries   atomic.Int64
+		dropped   atomic.Int64
+		failures  atomic.Int64
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				sc := mix[order[i]]
+				wait := *asyncEvery == 0 || i%*asyncEvery != 0
+				t0 := time.Now()
+				job, nRetries, err := submit(client, base, sc, uint64(i+1), wait)
+				lat := time.Since(t0)
+				retries.Add(int64(nRetries))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "job %d (%s): %v\n", i, sc.name, err)
+					dropped.Add(1)
+					continue
+				}
+				if job.State == service.StateFailed {
+					fmt.Fprintf(os.Stderr, "job %d (%s) failed: %s\n", i, sc.name, job.Error)
+					failures.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				outcomes[job.State]++
+				perScen[sc.name]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var stats service.Stats
+	if resp, err := client.Get(base + "/metrics"); err == nil {
+		_ = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+	}
+
+	report(*jobs, elapsed, latencies, outcomes, perScen, stats, retries.Load())
+
+	if d := dropped.Load(); d > 0 {
+		return fmt.Errorf("%d of %d jobs dropped", d, *jobs)
+	}
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("%d of %d jobs failed", f, *jobs)
+	}
+	if got := len(latencies); got != *jobs {
+		return fmt.Errorf("accounted for %d of %d jobs", got, *jobs)
+	}
+	return nil
+}
+
+// serverSlots reads the walker-slot pool size from /healthz.
+func serverSlots(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Slots int `json:"slots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return 0, err
+	}
+	if health.Slots < 1 {
+		return 0, fmt.Errorf("server reports %d slots", health.Slots)
+	}
+	return health.Slots, nil
+}
+
+// submit runs one job to a terminal state: synchronously via
+// {"wait": true}, or asynchronously with polling. 429 responses are
+// retried with linear backoff and reported in the retry counter.
+func submit(client *http.Client, base string, sc scenario, seed uint64, wait bool) (service.Job, int, error) {
+	req := make(map[string]any, len(sc.req)+2)
+	for k, v := range sc.req {
+		req[k] = v
+	}
+	req["seed"] = seed
+	req["wait"] = wait
+	body, err := json.Marshal(req)
+	if err != nil {
+		return service.Job{}, 0, err
+	}
+
+	retries := 0
+	var job service.Job
+	for {
+		resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return service.Job{}, retries, err
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retries++
+			time.Sleep(time.Duration(min(retries, 50)) * 2 * time.Millisecond)
+			continue
+		}
+		if decodeErr != nil {
+			return service.Job{}, retries, decodeErr
+		}
+		if wait && resp.StatusCode == http.StatusOK {
+			return job, retries, nil
+		}
+		if !wait && resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		return service.Job{}, retries, fmt.Errorf("unexpected status %d: %+v", resp.StatusCode, job)
+	}
+
+	// Async path: poll until terminal.
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return service.Job{}, retries, err
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if decodeErr != nil {
+			return service.Job{}, retries, decodeErr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return service.Job{}, retries, fmt.Errorf("poll status %d", resp.StatusCode)
+		}
+		if job.State.Terminal() {
+			return job, retries, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[service.State]int, perScen map[string]int, stats service.Stats, retries int64) {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	fmt.Printf("loadgen: %d jobs in %v (%.1f jobs/s), %d backpressure retries\n",
+		jobs, elapsed.Round(time.Millisecond), float64(len(lats))/elapsed.Seconds(), retries)
+	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	states := make([]string, 0, len(outcomes))
+	for s := range outcomes {
+		states = append(states, string(s))
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Printf("outcome %-10s %d\n", s, outcomes[service.State(s)])
+	}
+	scens := make([]string, 0, len(perScen))
+	for s := range perScen {
+		scens = append(scens, s)
+	}
+	sort.Strings(scens)
+	for _, s := range scens {
+		fmt.Printf("scenario %-18s %d\n", s, perScen[s])
+	}
+	if stats.JobsSubmitted > 0 {
+		fmt.Printf("server: %d iterations total (%.0f iters/s), peak pool %d slots\n",
+			stats.Iterations, stats.IterationsPerSec, stats.Slots)
+	}
+}

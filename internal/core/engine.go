@@ -103,6 +103,16 @@ func (e *engine) solve() Result {
 		return e.res
 	}
 
+	// An already-cancelled context means the caller no longer wants the
+	// answer (a multi-walk sweep or a service job cancelled before this
+	// walker started): return Interrupted immediately instead of burning
+	// the first CheckEvery iterations before noticing.
+	if e.cancelled() {
+		e.res.Interrupted = true
+		e.finishResult()
+		return e.res
+	}
+
 	e.st.Rand = e.rand
 	e.st.Opts = &e.opts
 	e.st.Marks = make([]int64, n)

@@ -16,7 +16,9 @@ type Result struct {
 	// Solution is the solving permutation (a private copy), or nil.
 	Solution []int
 	// Cost is the final global cost: 0 when solved, otherwise the cost
-	// of the best configuration seen in the last run.
+	// of the best configuration seen in the last run. A run interrupted
+	// before evaluating any configuration (context already cancelled at
+	// Solve time) reports math.MaxInt.
 	Cost int
 	// Strategy names the search strategy that produced the result
 	// (Options.Strategy resolved through the registry). Useful when

@@ -1,0 +1,289 @@
+package multiwalk
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// hardOptions returns engine options that cannot finish on their own:
+// a huge iteration budget on a large magic square, with a tight
+// cancellation poll so walkers react to the context quickly.
+func hardOptions(t *testing.T, n int) core.Options {
+	t.Helper()
+	eng := tunedEngine(t, "magic-square", n)
+	eng.MaxIterations = math.MaxInt64 / 4
+	eng.CheckEvery = 16
+	return eng
+}
+
+func hardFactory(t *testing.T, n int) Factory {
+	t.Helper()
+	f, err := problems.NewFactory("magic-square", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunVirtualAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Walkers: 4, Seed: 1, Engine: tunedEngine(t, "costas", 9)}
+	res, err := RunVirtual(ctx, costasFactory(t, 9), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved || res.Winner != -1 {
+		t.Fatalf("pre-cancelled sweep reported a winner: %+v", res)
+	}
+	if !res.Truncated {
+		t.Fatal("pre-cancelled sweep not marked Truncated")
+	}
+	if res.Completed != 0 {
+		t.Fatalf("Completed = %d, want 0", res.Completed)
+	}
+	if len(res.Walkers) != 4 {
+		t.Fatalf("expected 4 walker stats, got %d", len(res.Walkers))
+	}
+	for i, s := range res.Walkers {
+		if s.Walker != i {
+			t.Errorf("walker %d has index %d (pre-fix zero value)", i, s.Walker)
+		}
+		if s.Entry != -1 {
+			t.Errorf("homogeneous walker %d has Entry %d, want -1", i, s.Entry)
+		}
+		if !s.Result.Interrupted {
+			t.Errorf("unrun walker %d not marked Interrupted", i)
+		}
+		if s.Result.Iterations != 0 {
+			t.Errorf("unrun walker %d reports %d iterations", i, s.Result.Iterations)
+		}
+	}
+}
+
+func TestRunVirtualAlreadyCancelledPortfolioEntries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := tunedEngine(t, "costas", 9)
+	opts := Options{
+		Walkers: 4,
+		Seed:    1,
+		Portfolio: []PortfolioEntry{
+			{Weight: 1, Engine: eng},
+			{Weight: 1, Engine: eng},
+		},
+	}
+	res, err := RunVirtual(ctx, costasFactory(t, 9), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Walkers {
+		if want := i % 2; s.Entry != want {
+			t.Errorf("unrun walker %d has Entry %d, want %d", i, s.Entry, want)
+		}
+	}
+}
+
+func TestRunVirtualMidSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	opts := Options{Walkers: 4, Seed: 1, Engine: hardOptions(t, 20)}
+	res, err := RunVirtual(ctx, hardFactory(t, 20), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Skip("solved within 30ms — machine faster than expected")
+	}
+	if !res.Truncated {
+		t.Fatal("mid-sweep cancellation not marked Truncated")
+	}
+	if res.Completed < 1 || res.Completed >= 4 {
+		t.Fatalf("Completed = %d, want in [1, 4)", res.Completed)
+	}
+	for i, s := range res.Walkers {
+		if s.Walker != i || s.Entry != -1 {
+			t.Errorf("walker %d carries zero-valued identity: %+v", i, s)
+		}
+		if i >= res.Completed {
+			if !s.Result.Interrupted || s.Result.Iterations != 0 {
+				t.Errorf("unrun walker %d: %+v", i, s.Result)
+			}
+		} else if s.Result.Iterations == 0 {
+			t.Errorf("completed walker %d did no work", i)
+		}
+	}
+}
+
+func TestRunVirtualUntruncatedSweepIsComplete(t *testing.T) {
+	opts := Options{Walkers: 3, Seed: 5, Engine: tunedEngine(t, "costas", 9)}
+	res, err := RunVirtual(context.Background(), costasFactory(t, 9), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("uncancelled sweep marked Truncated: %+v", res)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("Completed = %d, want 3", res.Completed)
+	}
+}
+
+func TestRunAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Walkers: 4, Seed: 1, Engine: tunedEngine(t, "costas", 9)}
+	res, err := Run(ctx, costasFactory(t, 9), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatalf("pre-cancelled run solved: %+v", res)
+	}
+	if !res.Truncated {
+		t.Fatal("pre-cancelled run not marked Truncated")
+	}
+	if res.Completed != 4 {
+		t.Fatalf("Completed = %d, want 4 (every goroutine starts)", res.Completed)
+	}
+	for i, s := range res.Walkers {
+		if s.Walker != i {
+			t.Errorf("walker %d has index %d", i, s.Walker)
+		}
+		if !s.Result.Interrupted {
+			t.Errorf("walker %d not interrupted", i)
+		}
+		if s.Result.Iterations != 0 {
+			t.Errorf("pre-cancelled walker %d ran %d iterations, want 0", i, s.Result.Iterations)
+		}
+	}
+}
+
+func TestRunMidRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	opts := Options{Walkers: 3, Seed: 1, Engine: hardOptions(t, 20)}
+	res, err := Run(ctx, hardFactory(t, 20), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Skip("solved within 30ms — machine faster than expected")
+	}
+	if !res.Truncated {
+		t.Fatal("deadline-cancelled run not marked Truncated")
+	}
+	for i, s := range res.Walkers {
+		if !s.Result.Interrupted {
+			t.Errorf("walker %d not interrupted by deadline", i)
+		}
+	}
+}
+
+func TestRunSolvedIsNotTruncated(t *testing.T) {
+	opts := Options{Walkers: 4, Seed: 13, Engine: tunedEngine(t, "costas", 10)}
+	res, err := Run(context.Background(), costasFactory(t, 10), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("not solved: %+v", res)
+	}
+	if res.Truncated {
+		t.Fatal("solved run marked Truncated (loser interruption is normal completion)")
+	}
+	if res.Completed != 4 {
+		t.Fatalf("Completed = %d, want 4", res.Completed)
+	}
+}
+
+// TestProgressHook checks that Options.Progress observes every walker
+// with monotone per-walker iteration counts, in both execution modes.
+func TestProgressHook(t *testing.T) {
+	eng := tunedEngine(t, "costas", 9)
+	eng.CheckEvery = 8
+	var mu sync.Mutex
+	last := map[int]int64{}
+	progress := func(w int, iter int64, cost int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if iter < last[w] {
+			t.Errorf("walker %d iteration count went backwards: %d -> %d", w, last[w], iter)
+		}
+		last[w] = iter
+		if cost < 0 {
+			t.Errorf("walker %d reported negative cost %d", w, cost)
+		}
+	}
+
+	opts := Options{Walkers: 3, Seed: 2, Engine: eng, Progress: progress}
+	if _, err := RunVirtual(context.Background(), costasFactory(t, 9), opts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	seen := len(last)
+	mu.Unlock()
+	if seen == 0 {
+		t.Fatal("Progress never invoked under RunVirtual")
+	}
+	for w := range last {
+		if w < 0 || w >= 3 {
+			t.Errorf("Progress saw out-of-range walker %d", w)
+		}
+	}
+
+	mu.Lock()
+	last = map[int]int64{}
+	mu.Unlock()
+	if _, err := Run(context.Background(), costasFactory(t, 9), opts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(last) == 0 {
+		t.Fatal("Progress never invoked under Run")
+	}
+}
+
+// TestEngineMonitorChained checks that a caller-supplied Engine.Monitor
+// survives the driver's monitor chaining and can steer the run.
+func TestEngineMonitorChained(t *testing.T) {
+	eng := hardOptions(t, 20)
+	var calls int64
+	var mu sync.Mutex
+	eng.Monitor = func(iter int64, cost int, cfg []int) core.Directive {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return core.Directive{Stop: true}
+	}
+	opts := Options{Walkers: 2, Seed: 3, Engine: eng}
+	res, err := RunVirtual(context.Background(), hardFactory(t, 20), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Fatal("caller Monitor was discarded by the multi-walk driver")
+	}
+	for i, s := range res.Walkers {
+		if !s.Result.Interrupted {
+			t.Errorf("walker %d ignored the Monitor Stop directive", i)
+		}
+	}
+	// A Monitor-initiated stop is the sweep finishing on its own terms,
+	// not a context cancellation: Truncated must stay false.
+	if res.Truncated {
+		t.Errorf("Monitor Stop marked the sweep Truncated: %+v", res)
+	}
+	if res.Completed != 2 {
+		t.Errorf("Completed = %d, want 2", res.Completed)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -59,8 +60,11 @@ type Options struct {
 	// OS scheduling for the wall-clock winner of Run.
 	Seed uint64
 
-	// Engine holds the per-walker engine options (its Seed and Monitor
-	// fields are overridden by the multi-walk driver).
+	// Engine holds the per-walker engine options. Its Seed is
+	// overridden by the multi-walk driver; its Monitor (if any) is
+	// chained with the driver's own monitors (Progress, Exchange) and
+	// must therefore be safe for concurrent use under Run, where every
+	// walker invokes it.
 	Engine core.Options
 
 	// Portfolio, when non-empty, makes the run heterogeneous: walkers
@@ -79,6 +83,16 @@ type Options struct {
 	// Exchange enables the dependent multi-walk scheme. The zero value
 	// keeps walks fully independent, as in the paper's experiments.
 	Exchange ExchangeOptions
+
+	// Progress, when non-nil, is invoked from each walker every
+	// Engine.CheckEvery iterations with the walker index, the walker's
+	// cumulative iteration count and its current cost. Walkers run
+	// concurrently under Run, so the callback must be safe for
+	// concurrent use; calls for one walker are always sequential. This
+	// is the hook the solve service uses for live throughput metrics.
+	// It composes with (does not replace) any Monitor set on the engine
+	// options and with the Exchange scheme's internal monitor.
+	Progress func(walker int, iter int64, cost int)
 }
 
 // PortfolioEntry assigns engine options — typically differing in
@@ -92,8 +106,9 @@ type PortfolioEntry struct {
 	// negative weights are rejected, as are entries made unreachable
 	// because the weight slots before them already cover every walker.
 	Weight int
-	// Engine holds the entry's engine options (Seed and Monitor are
-	// overridden by the multi-walk driver, as with Options.Engine).
+	// Engine holds the entry's engine options (Seed is overridden and
+	// Monitor chained by the multi-walk driver, as with
+	// Options.Engine).
 	Engine core.Options
 }
 
@@ -126,10 +141,17 @@ type WalkerStat struct {
 	// for a homogeneous run.
 	Entry int
 	// Result is the walker's engine result. In Run, losers are usually
-	// Interrupted; in RunVirtual every walker runs to completion.
-	// Result.Strategy names the strategy the walker used.
+	// Interrupted; in RunVirtual every walker runs to completion unless
+	// the context is cancelled mid-sweep, in which case walkers that
+	// never ran carry an empty Result marked Interrupted (Cost
+	// math.MaxInt, zero iterations). Result.Strategy names the strategy
+	// the walker used.
 	Result core.Result
-	// Adoptions counts elite-configuration adoptions (dependent mode).
+	// Adoptions counts elite-configuration adoptions offered by the
+	// exchange board (dependent mode). A Stop or Restart issued by a
+	// chained caller monitor on the same poll can suppress the engine
+	// actually executing the teleport, so the count is an upper bound
+	// in that (unusual) combination.
 	Adoptions int64
 }
 
@@ -150,6 +172,19 @@ type Result struct {
 	TotalIterations int64
 	// Walkers holds per-walker statistics, indexed by walker.
 	Walkers []WalkerStat
+	// Completed counts walkers whose engines actually ran (possibly
+	// interrupted mid-run). Run starts every walker, so there it always
+	// equals len(Walkers); a cancelled RunVirtual sweep stops early and
+	// leaves Completed < len(Walkers). The unrun tail keeps correct
+	// Walker/Entry indices and an empty Result marked Interrupted.
+	Completed int
+	// Truncated reports that the caller's context was cancelled before
+	// the sweep finished on its own terms. An unsolved Result with
+	// Truncated set means "cancelled mid-sweep", not "unsolved after
+	// all walks ran their budgets". In Run the losers' post-solution
+	// interruption is the normal completion mechanism and does not
+	// count as truncation.
+	Truncated bool
 	// Elapsed is the wall-clock duration of the whole call.
 	Elapsed time.Duration
 }
@@ -233,7 +268,7 @@ func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			eo, entry := opts.engineFor(pattern, w)
-			stat, err := runWalker(runCtx, factory, eo, opts.Exchange, w, entry, seeds[w], board)
+			stat, err := runWalker(runCtx, factory, eo, opts.Exchange, w, entry, seeds[w], board, opts.Progress)
 			stats[w] = stat
 			errs[w] = err
 			if err != nil || stat.Result.Solved {
@@ -254,6 +289,12 @@ func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
 		}
 	}
 	res := aggregate(stats, wallClockWinner)
+	res.Completed = opts.Walkers
+	// Distinguish external cancellation from internal completion
+	// detection: losers are interrupted by the winner's cancel on every
+	// solved run, so only an unsolved run whose parent context died was
+	// genuinely cut short.
+	res.Truncated = ctx.Err() != nil && !res.Solved
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -283,18 +324,35 @@ func RunVirtual(ctx context.Context, factory Factory, opts Options) (Result, err
 	pattern := portfolioPattern(opts.Portfolio, opts.Walkers)
 	start := time.Now()
 	stats := make([]WalkerStat, opts.Walkers)
+	completed := 0
+	truncated := false
 	for w := 0; w < opts.Walkers; w++ {
 		eo, entry := opts.engineFor(pattern, w)
-		stat, err := runWalker(ctx, factory, eo, opts.Exchange, w, entry, seeds[w], nil)
+		if ctx.Err() != nil {
+			// The sweep was cancelled before this walker's turn: keep
+			// its identity (index, portfolio entry) intact and mark the
+			// empty result Interrupted so callers can tell "never ran"
+			// from "ran and failed".
+			stats[w] = WalkerStat{Walker: w, Entry: entry, Result: core.Result{Interrupted: true, Cost: math.MaxInt}}
+			truncated = true
+			continue
+		}
+		stat, err := runWalker(ctx, factory, eo, opts.Exchange, w, entry, seeds[w], nil, opts.Progress)
 		if err != nil {
 			return Result{}, err
 		}
 		stats[w] = stat
-		if ctx.Err() != nil {
-			break
+		completed++
+		// Truncation is strictly a context property: a walker may also
+		// report Interrupted because a caller Monitor issued Stop, and
+		// that is the sweep finishing on its own terms.
+		if ctx.Err() != nil && stat.Result.Interrupted {
+			truncated = true
 		}
 	}
 	res := aggregate(stats, virtualWinner)
+	res.Completed = completed
+	res.Truncated = truncated
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -353,25 +411,65 @@ func (o *Options) engineFor(pattern []int, w int) (core.Options, int) {
 }
 
 // runWalker builds a fresh problem instance and runs one engine with
-// the resolved per-walker options.
-func runWalker(ctx context.Context, factory Factory, eo core.Options, exch ExchangeOptions, w, entry int, seed uint64, board *exchangeBoard) (WalkerStat, error) {
+// the resolved per-walker options. The walker's effective Monitor is
+// the chain of the exchange-board policy, the Progress hook and the
+// caller's engine Monitor; every link runs each poll and the
+// directives merge (any Stop stops, any Restart restarts, the first
+// SetConfig wins).
+func runWalker(ctx context.Context, factory Factory, eo core.Options, exch ExchangeOptions, w, entry int, seed uint64, board *exchangeBoard, progress func(int, int64, int)) (WalkerStat, error) {
 	p, err := factory()
 	if err != nil {
 		return WalkerStat{}, fmt.Errorf("multiwalk: walker %d factory: %w", w, err)
 	}
 	eo.Seed = seed
 	stat := WalkerStat{Walker: w, Entry: entry}
+	// The board monitor goes first: its SetConfig directive carries
+	// side effects (the Adoptions count, the perturbation RNG), so it
+	// must win the first-SetConfig-wins merge over a caller monitor
+	// that happens to teleport on the same poll.
+	monitors := make([]func(int64, int, []int) core.Directive, 0, 3)
 	if board != nil {
-		eo.Monitor = board.monitor(&stat, exch, p.Size(), seed)
-	} else {
-		eo.Monitor = nil
+		monitors = append(monitors, board.monitor(&stat, exch, p.Size(), seed))
 	}
+	if progress != nil {
+		monitors = append(monitors, func(iter int64, cost int, _ []int) core.Directive {
+			progress(w, iter, cost)
+			return core.Directive{}
+		})
+	}
+	if eo.Monitor != nil {
+		monitors = append(monitors, eo.Monitor)
+	}
+	eo.Monitor = chainMonitors(monitors)
 	res, err := core.Solve(ctx, p, eo)
 	if err != nil {
 		return WalkerStat{}, fmt.Errorf("multiwalk: walker %d: %w", w, err)
 	}
 	stat.Result = res
 	return stat, nil
+}
+
+// chainMonitors folds several engine monitors into one, merging their
+// directives.
+func chainMonitors(monitors []func(int64, int, []int) core.Directive) func(int64, int, []int) core.Directive {
+	switch len(monitors) {
+	case 0:
+		return nil
+	case 1:
+		return monitors[0]
+	}
+	return func(iter int64, cost int, cfg []int) core.Directive {
+		var out core.Directive
+		for _, m := range monitors {
+			d := m(iter, cost, cfg)
+			out.Stop = out.Stop || d.Stop
+			out.Restart = out.Restart || d.Restart
+			if out.SetConfig == nil {
+				out.SetConfig = d.SetConfig
+			}
+		}
+		return out
+	}
 }
 
 // aggregate folds per-walker stats into a Result using the given winner

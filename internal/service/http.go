@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/problems"
+)
+
+// NewHandler exposes a scheduler as an HTTP JSON API:
+//
+//	POST /v1/solve              submit a job; {"wait": true} blocks for the result
+//	GET  /v1/jobs/{id}          job status / result
+//	POST /v1/jobs/{id}/cancel   cancel a queued or running job
+//	GET  /v1/problems           registered benchmarks and strategies
+//	GET  /healthz               liveness + pool headroom
+//	GET  /metrics               expvar-style counters (Stats)
+//
+// Error responses are {"error": "..."} with ErrQueueFull mapped to 429,
+// ErrBadRequest to 400, ErrNotFound to 404 and ErrClosed to 503.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var body solveBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, fmt.Errorf("%w: invalid JSON: %v", ErrBadRequest, err))
+			return
+		}
+		if body.Wait {
+			job, err := s.SubmitWait(r.Context(), body.Request)
+			if err != nil {
+				if job.ID != "" {
+					// The client's wait expired but the job is live:
+					// hand back its id so it can be polled or
+					// cancelled rather than orphaned in the pool.
+					w.Header().Set("Location", "/v1/jobs/"+job.ID)
+					writeJSON(w, http.StatusRequestTimeout, map[string]any{"error": err.Error(), "job": job})
+					return
+				}
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, job)
+			return
+		}
+		job, err := s.Submit(body.Request)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /v1/problems", func(w http.ResponseWriter, r *http.Request) {
+		names := problems.Names()
+		infos := make([]problems.Info, 0, len(names))
+		for _, n := range names {
+			info, err := problems.Describe(n)
+			if err != nil {
+				continue
+			}
+			infos = append(infos, info)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"problems":   infos,
+			"strategies": core.StrategyNames(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		status, code := "ok", http.StatusOK
+		if s.Closed() {
+			status, code = "shutting down", http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{
+			"status":      status,
+			"slots":       st.Slots,
+			"slots_busy":  st.SlotsBusy,
+			"queue_depth": st.QueueDepth,
+		})
+	})
+	// Served through expvar.Func so the payload is exactly what a
+	// global expvar.Publish of Stats would produce, without touching
+	// the process-global registry (which panics on double Publish and
+	// would break multi-scheduler tests).
+	statsVar := expvar.Func(func() any { return s.Stats() })
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, statsVar.String())
+	})
+	return mux
+}
+
+// solveBody is the POST /v1/solve payload: a Request plus the
+// sync/async switch.
+type solveBody struct {
+	Request
+	// Wait makes the call synchronous: the response is the terminal
+	// job, not the queued acknowledgement.
+	Wait bool `json:"wait,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The waiting client went away; 499-style. 408 is the closest
+		// standard code.
+		code = http.StatusRequestTimeout
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,258 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+// State is a job's lifecycle state. Transitions are strictly
+//
+//	queued -> running -> solved | unsolved | cancelled | failed
+//	queued -> cancelled                    (cancelled before dispatch)
+//
+// and terminal states never change.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for walker slots.
+	StateQueued State = "queued"
+	// StateRunning: holding slots, walkers executing.
+	StateRunning State = "running"
+	// StateSolved: a walker found a solution.
+	StateSolved State = "solved"
+	// StateUnsolved: every walker exhausted its budget without solving.
+	StateUnsolved State = "unsolved"
+	// StateCancelled: deadline expiry, explicit cancel, or shutdown.
+	StateCancelled State = "cancelled"
+	// StateFailed: the run reported an error (bad options, factory
+	// failure).
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateSolved, StateUnsolved, StateCancelled, StateFailed:
+		return true
+	}
+	return false
+}
+
+// Typed errors surfaced by the scheduler; the HTTP layer maps them to
+// status codes (ErrQueueFull -> 429, ErrBadRequest -> 400, ErrNotFound
+// -> 404, ErrClosed -> 503).
+var (
+	// ErrQueueFull is the admission-control backpressure signal: the
+	// FIFO queue is at capacity and the request was rejected without
+	// being admitted. Callers should retry with backoff.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrBadRequest marks a request the registry-driven validation
+	// rejected (unknown problem or strategy, out-of-range walkers).
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrNotFound reports an unknown (or TTL-evicted) job id.
+	ErrNotFound = errors.New("service: unknown job")
+	// ErrClosed reports a submission after Close.
+	ErrClosed = errors.New("service: scheduler closed")
+)
+
+// Request describes one solve job. The zero value of every optional
+// field selects a sensible default at admission time.
+type Request struct {
+	// Problem names a registered benchmark (see problems.Names).
+	Problem string `json:"problem"`
+	// Size is the instance parameter; <= 0 selects the benchmark's
+	// default size.
+	Size int `json:"size,omitempty"`
+	// Walkers is the number of parallel walks; it is also the number of
+	// pool slots the job occupies while running. 0 selects 1; values
+	// above the pool size are rejected.
+	Walkers int `json:"walkers,omitempty"`
+	// Seed seeds the multi-walk master stream. 0 lets the scheduler
+	// pick a per-job seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Strategy names an engine search strategy ("" selects the
+	// problem's tuned default).
+	Strategy string `json:"strategy,omitempty"`
+	// Portfolio, when non-empty, runs a heterogeneous portfolio and
+	// takes precedence over Strategy.
+	Portfolio []PortfolioSpec `json:"portfolio,omitempty"`
+	// MaxIterations bounds each walker run; 0 keeps the tuned default.
+	MaxIterations int64 `json:"max_iterations,omitempty"`
+	// MaxRuns bounds restarts per walker; 0 keeps the tuned default
+	// (unlimited — the job is then bounded by its deadline).
+	MaxRuns int `json:"max_runs,omitempty"`
+	// TimeoutMS is the job deadline in milliseconds, measured from
+	// dispatch (not from submission). 0 selects the scheduler default;
+	// values above the configured maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PortfolioSpec assigns a strategy a weighted share of the walkers.
+type PortfolioSpec struct {
+	Strategy string `json:"strategy"`
+	Weight   int    `json:"weight,omitempty"`
+}
+
+// Job is an immutable snapshot of a job's state, safe to retain and
+// serialize.
+type Job struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Request     Request    `json:"request"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   time.Time  `json:"started_at,omitzero"`
+	FinishedAt  time.Time  `json:"finished_at,omitzero"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// JobResult condenses a multiwalk.Result for transport.
+type JobResult struct {
+	Solved           bool   `json:"solved"`
+	Solution         []int  `json:"solution,omitempty"`
+	Winner           int    `json:"winner"`
+	WinnerStrategy   string `json:"winner_strategy,omitempty"`
+	WinnerIterations int64  `json:"winner_iterations"`
+	TotalIterations  int64  `json:"total_iterations"`
+	CompletedWalkers int    `json:"completed_walkers"`
+	Truncated        bool   `json:"truncated"`
+	ElapsedMS        int64  `json:"elapsed_ms"`
+}
+
+// condenseResult maps the multiwalk result into the transport shape.
+func condenseResult(res *multiwalk.Result) *JobResult {
+	if res == nil {
+		return nil
+	}
+	// Copy the solution so snapshots honor Job's immutability contract
+	// — every snapshot of one job would otherwise share the stored
+	// result's backing array.
+	var solution []int
+	if res.Solution != nil {
+		solution = append([]int(nil), res.Solution...)
+	}
+	jr := &JobResult{
+		Solved:           res.Solved,
+		Solution:         solution,
+		Winner:           res.Winner,
+		WinnerIterations: res.WinnerIterations,
+		TotalIterations:  res.TotalIterations,
+		CompletedWalkers: res.Completed,
+		Truncated:        res.Truncated,
+		ElapsedMS:        res.Elapsed.Milliseconds(),
+	}
+	if res.Winner >= 0 && res.Winner < len(res.Walkers) {
+		jr.WinnerStrategy = res.Walkers[res.Winner].Result.Strategy
+	}
+	return jr
+}
+
+// normalizeRequest validates req against the problems and strategy
+// registries and resolves it into a ready-to-run multi-walk
+// configuration. All validation errors wrap ErrBadRequest.
+func (s *Scheduler) normalizeRequest(req *Request) (problems.Factory, multiwalk.Options, error) {
+	var zero multiwalk.Options
+	if req.Problem == "" {
+		return nil, zero, fmt.Errorf("%w: missing problem (known: %v)", ErrBadRequest, problems.Names())
+	}
+	info, err := problems.Describe(req.Problem)
+	if err != nil {
+		return nil, zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.Size <= 0 {
+		req.Size = info.DefaultSize
+	}
+	factory, err := problems.NewFactory(req.Problem, req.Size)
+	if err != nil {
+		return nil, zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.Walkers == 0 {
+		req.Walkers = 1
+	}
+	if req.Walkers < 0 || req.Walkers > s.cfg.Slots {
+		return nil, zero, fmt.Errorf("%w: walkers = %d outside [1, %d] (pool size)", ErrBadRequest, req.Walkers, s.cfg.Slots)
+	}
+	if req.MaxIterations < 0 || req.MaxRuns < 0 || req.TimeoutMS < 0 {
+		return nil, zero, fmt.Errorf("%w: negative budget", ErrBadRequest)
+	}
+
+	// One tuned instance supplies per-problem engine defaults; request
+	// fields override on top. The factory (already validated) builds
+	// the probe — no second registry lookup or duplicate construction.
+	probe, err := factory()
+	if err != nil {
+		return nil, zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	engine := core.TunedOptions(probe)
+	if req.MaxIterations > 0 {
+		engine.MaxIterations = req.MaxIterations
+	}
+	if req.MaxRuns > 0 {
+		engine.MaxRuns = req.MaxRuns
+	}
+	if req.Strategy != "" {
+		if !knownStrategy(req.Strategy) {
+			return nil, zero, fmt.Errorf("%w: unknown strategy %q (known: %v)", ErrBadRequest, req.Strategy, core.StrategyNames())
+		}
+		engine.Strategy = req.Strategy
+	}
+
+	opts := multiwalk.Options{
+		Walkers: req.Walkers,
+		Seed:    req.Seed,
+		Engine:  engine,
+	}
+	prefix := 0
+	for i, spec := range req.Portfolio {
+		if !knownStrategy(spec.Strategy) {
+			return nil, zero, fmt.Errorf("%w: portfolio[%d]: unknown strategy %q (known: %v)", ErrBadRequest, i, spec.Strategy, core.StrategyNames())
+		}
+		if spec.Weight < 0 {
+			return nil, zero, fmt.Errorf("%w: portfolio[%d]: negative weight", ErrBadRequest, i)
+		}
+		// Mirror multiwalk's reachability rule at admission time so a
+		// degenerate mix is a 400, not a late job failure.
+		if prefix >= req.Walkers {
+			return nil, zero, fmt.Errorf("%w: portfolio[%d] is unreachable with %d walkers", ErrBadRequest, i, req.Walkers)
+		}
+		w := spec.Weight
+		if w == 0 {
+			w = 1
+		}
+		if prefix += w; prefix > req.Walkers {
+			prefix = req.Walkers
+		}
+		entry := engine
+		entry.Strategy = spec.Strategy
+		opts.Portfolio = append(opts.Portfolio, multiwalk.PortfolioEntry{Weight: spec.Weight, Engine: entry})
+	}
+	return factory, opts, nil
+}
+
+// knownStrategy checks a name against the engine's strategy registry.
+func knownStrategy(name string) bool {
+	for _, n := range core.StrategyNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// timeoutFor resolves the job deadline from the request and the
+// scheduler's default/max bounds.
+func (s *Scheduler) timeoutFor(req *Request) time.Duration {
+	d := time.Duration(req.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}

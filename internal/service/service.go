@@ -1,0 +1,609 @@
+// Package service is the serving layer over the multi-walk solver: an
+// admission-controlled job scheduler that multiplexes many concurrent
+// solve requests over a bounded pool of walker slots.
+//
+// The design follows the paper's resource model directly: one walker is
+// one core's worth of work, so a k-walker job consumes k slots of a
+// pool sized to GOMAXPROCS by default. Admission is FIFO with
+// queue-depth backpressure (ErrQueueFull), each job runs under its own
+// deadline as a child of the scheduler's root context, and finished
+// jobs are kept in an in-memory results store until a TTL janitor
+// evicts them. See DESIGN.md §7 for the slot-accounting rationale.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+// Config sizes the scheduler. The zero value of every field selects a
+// default.
+type Config struct {
+	// Slots is the walker-slot pool size — the number of engine
+	// goroutines allowed to run concurrently across all jobs. 0 selects
+	// runtime.GOMAXPROCS(0), the paper's one-walker-per-core model.
+	Slots int
+	// QueueDepth bounds the FIFO admission queue; submissions beyond it
+	// are rejected with ErrQueueFull. 0 selects 256.
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline applied when a request
+	// does not set one. 0 selects 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines. 0 selects 5m.
+	MaxTimeout time.Duration
+	// ResultTTL is how long a finished job stays retrievable. 0 selects
+	// 10m.
+	ResultTTL time.Duration
+}
+
+func (c *Config) normalize() {
+	if c.Slots <= 0 {
+		c.Slots = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 10 * time.Minute
+	}
+}
+
+// job is the scheduler-internal mutable job record; Job snapshots are
+// derived from it under its lock.
+type job struct {
+	id      string
+	req     Request
+	factory problems.Factory
+	opts    multiwalk.Options
+	timeout time.Duration
+
+	done chan struct{} // closed on reaching a terminal state
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	res       *multiwalk.Result
+	err       error
+	cancelRun context.CancelFunc // set while running
+}
+
+// snapshot builds the immutable transport view.
+func (j *job) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := Job{
+		ID:          j.id,
+		State:       j.state,
+		Request:     j.req,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+		Result:      condenseResult(j.res),
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
+	return out
+}
+
+// Scheduler is the admission-controlled solve service. Create one with
+// New, submit jobs with Submit (or SubmitWait), and shut it down with
+// Close — which cancels every queued and running job and waits for all
+// worker goroutines to exit.
+type Scheduler struct {
+	cfg Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // dispatcher + janitor + running jobs
+
+	// mu guards the slot pool, the FIFO queue and the jobs store; cond
+	// (on mu) is broadcast whenever any of them changes — new work,
+	// freed slots, a cancellation, shutdown — and wakes the dispatcher.
+	// The queue is a slice, not a channel, so Submit can never block on
+	// a send while holding mu (a queued job that is cancelled leaves
+	// the queue immediately, keeping len(q) == nQueued).
+	mu        sync.Mutex
+	cond      *sync.Cond
+	slotsFree int
+	q         []*job
+	jobs      map[string]*job
+	closed    bool
+	// nQueued counts admitted-but-not-yet-running jobs; admission
+	// control tests it against QueueDepth.
+	nQueued int
+
+	seq   atomic.Uint64
+	start time.Time
+
+	// Counters for /metrics. Gauges (queued, running, slots busy) live
+	// under mu or as atomics; the rest are cumulative.
+	mRunning    atomic.Int64
+	mSubmitted  atomic.Int64
+	mRejected   atomic.Int64
+	mSolved     atomic.Int64
+	mUnsolved   atomic.Int64
+	mCancelled  atomic.Int64
+	mFailed     atomic.Int64
+	mIterations atomic.Int64
+}
+
+// New starts a scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	cfg.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:       cfg,
+		ctx:       ctx,
+		cancel:    cancel,
+		slotsFree: cfg.Slots,
+		jobs:      make(map[string]*job),
+		start:     time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(2)
+	go s.dispatch()
+	go s.janitor()
+	return s
+}
+
+// Config returns the normalized configuration the scheduler runs with.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Submit validates and admits a job, returning its queued snapshot.
+// The call never blocks on solver work: a full queue fails fast with
+// ErrQueueFull, validation failures with ErrBadRequest.
+func (s *Scheduler) Submit(req Request) (Job, error) {
+	factory, opts, err := s.normalizeRequest(&req)
+	if err != nil {
+		s.mRejected.Add(1)
+		return Job{}, err
+	}
+	seq := s.seq.Add(1)
+	if req.Seed == 0 {
+		// A stable per-job default keeps replays possible (the seed is
+		// echoed back in the job's Request) without making every
+		// unseeded job identical.
+		req.Seed = seq*0x9e3779b97f4a7c15 + 1
+	}
+	opts.Seed = req.Seed
+	j := &job{
+		id:        fmt.Sprintf("j%06d", seq),
+		req:       req,
+		factory:   factory,
+		opts:      opts,
+		timeout:   s.timeoutFor(&req),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	j.opts.Progress = s.progressFor(j)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.mRejected.Add(1)
+		return Job{}, ErrClosed
+	}
+	if s.nQueued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.mRejected.Add(1)
+		return Job{}, ErrQueueFull
+	}
+	s.nQueued++
+	s.q = append(s.q, j)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	s.mSubmitted.Add(1)
+	return j.snapshot(), nil
+}
+
+// SubmitWait submits a job and blocks until it reaches a terminal
+// state or ctx is cancelled. In the latter case the job keeps running
+// and its current snapshot is returned alongside the context error, so
+// the caller retains the id to cancel or poll it.
+func (s *Scheduler) SubmitWait(ctx context.Context, req Request) (Job, error) {
+	snap, err := s.Submit(req)
+	if err != nil {
+		return Job{}, err
+	}
+	job, err := s.Wait(ctx, snap.ID)
+	if err != nil {
+		if cur, gerr := s.Get(snap.ID); gerr == nil {
+			return cur, err
+		}
+		return snap, err
+	}
+	return job, nil
+}
+
+// Get returns a job snapshot by id.
+func (s *Scheduler) Get(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j.snapshot(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (s *Scheduler) Wait(ctx context.Context, id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+}
+
+// Cancel cancels a job: a queued job is finalized immediately, a
+// running one has its context cancelled (the walkers notice within
+// CheckEvery iterations). Cancelling a finished job is a no-op.
+func (s *Scheduler) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if !s.tryCancelQueued(j) {
+		j.mu.Lock()
+		cancel := j.cancelRun
+		running := j.state == StateRunning
+		j.mu.Unlock()
+		if running && cancel != nil {
+			cancel()
+		}
+	}
+	return j.snapshot(), nil
+}
+
+// tryCancelQueued finalizes a still-queued job as cancelled, removing
+// it from the FIFO so it stops occupying a queue position. The removal
+// happens under s.mu — the same lock the dispatcher pops under — so a
+// job cannot be both removed here and dispatched. It returns false if
+// the job already left the queued state, including when runJob's
+// queued→running transition interleaves after the removal scan: the
+// transition is re-checked atomically in finalizeQueued, so a job that
+// made it to running is never marked cancelled with its walkers still
+// live — the caller falls through to cancelRun instead.
+func (s *Scheduler) tryCancelQueued(j *job) bool {
+	s.mu.Lock()
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if !queued {
+		s.mu.Unlock()
+		return false
+	}
+	for i, qj := range s.q {
+		if qj == j {
+			s.q = append(s.q[:i:i], s.q[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !s.finalizeQueued(j, fmt.Errorf("cancelled while queued")) {
+		return false
+	}
+	s.cond.Broadcast()
+	return true
+}
+
+// Close shuts the scheduler down: new submissions fail with ErrClosed,
+// queued jobs are cancelled, running jobs are interrupted, and Close
+// returns once every goroutine has exited.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// Closed reports whether Close has been called.
+func (s *Scheduler) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// dispatch is the single admission loop: it pops jobs FIFO, waits for
+// the head job's slot demand to be satisfiable, and launches the run.
+// A k-walker job at the head of the queue blocks later jobs until its
+// k slots free up — strict FIFO, by design (no-starvation for wide
+// jobs). The cond is broadcast on every queue/slot/lifecycle change.
+func (s *Scheduler) dispatch() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		if s.ctx.Err() != nil {
+			// Shutdown: cancel everything still queued.
+			q := s.q
+			s.q = nil
+			s.mu.Unlock()
+			for _, j := range q {
+				s.finalizeQueued(j, fmt.Errorf("scheduler shut down"))
+			}
+			return
+		}
+		if len(s.q) == 0 {
+			s.cond.Wait()
+			continue
+		}
+		j := s.q[0]
+		j.mu.Lock()
+		queued := j.state == StateQueued
+		j.mu.Unlock()
+		if !queued {
+			// Defensive only: cancelled jobs leave the queue eagerly
+			// under s.mu.
+			s.q = s.q[1:]
+			continue
+		}
+		if s.slotsFree < j.opts.Walkers {
+			s.cond.Wait()
+			continue
+		}
+		s.slotsFree -= j.opts.Walkers
+		s.q = s.q[1:]
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.runJob(j)
+		s.mu.Lock()
+	}
+}
+
+// releaseSlots returns a job's slots to the pool.
+func (s *Scheduler) releaseSlots(n int) {
+	s.mu.Lock()
+	s.slotsFree += n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// runJob executes one admitted job, holding its slots for the
+// duration.
+func (s *Scheduler) runJob(j *job) {
+	defer s.wg.Done()
+	defer s.releaseSlots(j.opts.Walkers)
+
+	runCtx, cancel := context.WithTimeout(s.ctx, j.timeout)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Lost a race with Cancel between acquireSlots and here.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	j.mu.Unlock()
+	s.decQueued()
+	s.mRunning.Add(1)
+
+	res, err := multiwalk.Run(runCtx, multiwalk.Factory(j.factory), j.opts)
+	switch {
+	case err != nil:
+		s.finalize(j, StateFailed, nil, err)
+	case res.Solved:
+		s.finalize(j, StateSolved, &res, nil)
+	case res.Truncated:
+		cause := context.Cause(runCtx)
+		if cause == context.DeadlineExceeded {
+			s.finalize(j, StateCancelled, &res, fmt.Errorf("deadline exceeded after %v", j.timeout))
+		} else {
+			s.finalize(j, StateCancelled, &res, fmt.Errorf("cancelled"))
+		}
+	default:
+		s.finalize(j, StateUnsolved, &res, nil)
+	}
+}
+
+// finalizeQueued cancels a job if and only if it is still queued —
+// the state re-check happens under j.mu, so a concurrent
+// queued→running transition in runJob makes this a no-op rather than
+// marking a live run cancelled.
+func (s *Scheduler) finalizeQueued(j *job, err error) bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateCancelled
+	j.finished = time.Now()
+	j.err = err
+	j.mu.Unlock()
+	// Counters move before done is closed so a waiter woken by
+	// Wait/SubmitWait never reads Stats from before its own job's
+	// terminal transition.
+	s.decQueued()
+	s.mCancelled.Add(1)
+	close(j.done)
+	return true
+}
+
+// finalize moves a job to a terminal state exactly once, updating the
+// metric counters and waking waiters.
+func (s *Scheduler) finalize(j *job, state State, res *multiwalk.Result, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	prev := j.state
+	j.state = state
+	j.finished = time.Now()
+	j.res = res
+	j.err = err
+	j.mu.Unlock()
+
+	// Counters move before done is closed (see finalizeQueued).
+	switch prev {
+	case StateQueued:
+		s.decQueued()
+	case StateRunning:
+		s.mRunning.Add(-1)
+	}
+	switch state {
+	case StateSolved:
+		s.mSolved.Add(1)
+	case StateUnsolved:
+		s.mUnsolved.Add(1)
+	case StateCancelled:
+		s.mCancelled.Add(1)
+	case StateFailed:
+		s.mFailed.Add(1)
+	}
+	close(j.done)
+}
+
+// decQueued releases one admission-queue position. Callers must not
+// hold s.mu (finalize is only ever invoked outside it).
+func (s *Scheduler) decQueued() {
+	s.mu.Lock()
+	s.nQueued--
+	s.mu.Unlock()
+}
+
+// janitor evicts finished jobs past their ResultTTL.
+func (s *Scheduler) janitor() {
+	defer s.wg.Done()
+	period := s.cfg.ResultTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-tick.C:
+			s.evict(now)
+		}
+	}
+}
+
+// evict removes finished jobs whose TTL has expired.
+func (s *Scheduler) evict(now time.Time) {
+	cutoff := now.Add(-s.cfg.ResultTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		dead := j.state.Terminal() && j.finished.Before(cutoff)
+		j.mu.Unlock()
+		if dead {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// progressFor returns the per-job multiwalk Progress hook feeding the
+// global iteration throughput counter. Each walker's cumulative count
+// is turned into deltas through a per-walker cell — only that walker's
+// goroutine touches it, so a plain slice suffices; the shared counter
+// is atomic.
+func (s *Scheduler) progressFor(j *job) func(int, int64, int) {
+	last := make([]int64, j.opts.Walkers)
+	return func(w int, iter int64, _ int) {
+		s.mIterations.Add(iter - last[w])
+		last[w] = iter
+	}
+}
+
+// Stats is the point-in-time metrics snapshot served by /metrics.
+type Stats struct {
+	Slots         int   `json:"slots"`
+	SlotsBusy     int   `json:"slots_busy"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	JobsQueued    int64 `json:"jobs_queued"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsSolved    int64 `json:"jobs_solved"`
+	JobsUnsolved  int64 `json:"jobs_unsolved"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsStored    int   `json:"jobs_stored"`
+	// Iterations is the cumulative engine iteration count across every
+	// walker of every job. IterationsPerSec is the lifetime average
+	// (Iterations over uptime), not a live window — an idle server's
+	// rate decays toward zero rather than dropping to it.
+	Iterations       int64   `json:"iterations_total"`
+	IterationsPerSec float64 `json:"iterations_per_sec"`
+	UptimeMS         int64   `json:"uptime_ms"`
+}
+
+// Stats assembles the current metrics snapshot.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	busy := s.cfg.Slots - s.slotsFree
+	stored := len(s.jobs)
+	depth := s.nQueued
+	s.mu.Unlock()
+	up := time.Since(s.start)
+	iters := s.mIterations.Load()
+	st := Stats{
+		Slots:         s.cfg.Slots,
+		SlotsBusy:     busy,
+		QueueDepth:    depth,
+		QueueCapacity: s.cfg.QueueDepth,
+		JobsQueued:    int64(depth),
+		JobsRunning:   s.mRunning.Load(),
+		JobsSubmitted: s.mSubmitted.Load(),
+		JobsRejected:  s.mRejected.Load(),
+		JobsSolved:    s.mSolved.Load(),
+		JobsUnsolved:  s.mUnsolved.Load(),
+		JobsCancelled: s.mCancelled.Load(),
+		JobsFailed:    s.mFailed.Load(),
+		JobsStored:    stored,
+		Iterations:    iters,
+		UptimeMS:      up.Milliseconds(),
+	}
+	if sec := up.Seconds(); sec > 0 {
+		st.IterationsPerSec = float64(iters) / sec
+	}
+	return st
+}

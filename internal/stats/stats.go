@@ -230,10 +230,17 @@ func (s *Sample) Bootstrap(stat func(*Sample) float64, iters int, conf float64, 
 	}
 	sort.Float64s(vals)
 	alpha := (1 - conf) / 2
+	// Symmetric percentile ranks: floor(alpha*iters) values below the
+	// lower endpoint and the same number above the upper one. The naive
+	// int((1-alpha)*iters) picks one rank too high (e.g. index 975 of
+	// 1000 for a 95% interval, leaving only 24 values above it).
 	loIdx := int(alpha * float64(iters))
-	hiIdx := int((1 - alpha) * float64(iters))
+	hiIdx := int(math.Ceil((1-alpha)*float64(iters))) - 1
 	if hiIdx >= iters {
 		hiIdx = iters - 1
+	}
+	if hiIdx < loIdx {
+		hiIdx = loIdx
 	}
 	return vals[loIdx], vals[hiIdx], nil
 }

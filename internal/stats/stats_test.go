@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -396,6 +397,74 @@ func TestBootstrap(t *testing.T) {
 	if _, _, err := s.Bootstrap(func(b *Sample) float64 { return 0 }, 100, 1.5, r); err == nil {
 		t.Fatal("conf>1 accepted")
 	}
+}
+
+// TestBootstrapPercentileRanks replays the resampling loop with the
+// same deterministic seed and pins both CI endpoints to the symmetric
+// order-statistic ranks floor(alpha*iters) and ceil((1-alpha)*iters)-1.
+// The pre-fix code selected int((1-alpha)*iters) for the upper endpoint
+// — one rank too high (index 975 of 1000 for a 95% interval) — which
+// this test rejects.
+func TestBootstrapPercentileRanks(t *testing.T) {
+	base := rng.New(7)
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = base.ExpFloat64() * 100
+	}
+	s := mustSample(t, xs...)
+
+	const iters = 1000
+	const conf = 0.95
+	const seed = 42
+	lo, hi, err := s.Bootstrap(func(b *Sample) float64 { return b.Mean() }, iters, conf, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the exact resampling sequence to recover the sorted
+	// bootstrap distribution Bootstrap drew from.
+	r := rng.New(seed)
+	n := s.N()
+	vals := make([]float64, iters)
+	buf := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := range buf {
+			buf[i] = s.xs[r.Intn(n)]
+		}
+		bs, err := New(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[it] = bs.Mean()
+	}
+	sort.Float64s(vals)
+
+	// alpha = 0.025: 25 values below the lower endpoint, 25 above the
+	// upper one.
+	wantLo, wantHi := vals[25], vals[974]
+	if lo != wantLo {
+		t.Errorf("lower endpoint = %v, want vals[25] = %v", lo, wantLo)
+	}
+	if hi != wantHi {
+		t.Errorf("upper endpoint = %v, want vals[974] = %v (pre-fix code returns vals[975] = %v)", hi, wantHi, vals[975])
+	}
+	if below, above := rankCount(vals, lo, hi); below != 25 || above != 25 {
+		t.Errorf("asymmetric interval: %d values below lo, %d above hi", below, above)
+	}
+}
+
+// rankCount counts bootstrap values strictly below lo and strictly
+// above hi.
+func rankCount(vals []float64, lo, hi float64) (below, above int) {
+	for _, v := range vals {
+		if v < lo {
+			below++
+		}
+		if v > hi {
+			above++
+		}
+	}
+	return below, above
 }
 
 func TestLogLogSlope(t *testing.T) {
