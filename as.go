@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/csp"
+	"repro/internal/dist"
 	"repro/internal/multiwalk"
 	"repro/internal/problems"
 	"repro/internal/service"
@@ -166,6 +167,51 @@ func NewSolveService(cfg ServiceConfig) *SolveService { return service.New(cfg) 
 // NewServiceHandler exposes a SolveService over the HTTP JSON API
 // served by cmd/serve (POST /v1/solve, GET /v1/jobs/{id}, ...).
 func NewServiceHandler(s *SolveService) http.Handler { return service.NewHandler(s) }
+
+// MultiWalkShard restricts a multi-walk run to a sub-range of a larger
+// job's walkers while preserving global walker identity (seeds,
+// portfolio entries, indices); set MultiWalkOptions.Shard. Shards of
+// one job merged with CombineShards are bit-for-bit the whole-job run.
+type MultiWalkShard = multiwalk.Shard
+
+// CombineShards merges the shard results of one logical job into the
+// whole-job result, recomputing the deterministic virtual winner.
+func CombineShards(total int, shards ...MultiWalkResult) (MultiWalkResult, error) {
+	return multiwalk.CombineShards(total, shards...)
+}
+
+// DistWorker executes walker shards on behalf of a coordinator; serve
+// its Handler over HTTP (see cmd/worker).
+type DistWorker = dist.Worker
+
+// DistWorkerConfig sizes a DistWorker.
+type DistWorkerConfig = dist.WorkerConfig
+
+// DistCoordinator shards multi-walk jobs over a fleet of workers with
+// the same determinism contract as SolveParallel/SolveParallelVirtual.
+// It satisfies ServiceBackend, so a SolveService can run on a fleet.
+type DistCoordinator = dist.Coordinator
+
+// DistCoordinatorConfig configures a DistCoordinator (worker URLs).
+type DistCoordinatorConfig = dist.CoordinatorConfig
+
+// DistJobSpec describes one distributed multi-walk job.
+type DistJobSpec = dist.JobSpec
+
+// ServiceBackend executes a SolveService's admitted jobs: the
+// in-process pool by default, or a DistCoordinator for a worker fleet
+// (ServiceConfig.Backend).
+type ServiceBackend = service.Backend
+
+// NewDistWorker creates a worker process' execution core; expose it
+// with its Handler method.
+func NewDistWorker(cfg DistWorkerConfig) *DistWorker { return dist.NewWorker(cfg) }
+
+// NewDistCoordinator enrolls a worker fleet, probing each worker's
+// slot capacity.
+func NewDistCoordinator(cfg DistCoordinatorConfig) (*DistCoordinator, error) {
+	return dist.NewCoordinator(cfg)
+}
 
 // RegisterStrategy adds a named strategy factory to the global
 // registry, making it selectable through Options.Strategy (and thus

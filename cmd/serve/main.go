@@ -4,6 +4,13 @@
 // Usage:
 //
 //	serve -addr :8080 -slots 8 -queue 256 -default-timeout 30s -ttl 10m
+//	serve -addr :8080 -workers http://10.0.0.7:9101,http://10.0.0.8:9101
+//
+// With -workers, jobs are not executed in-process: the scheduler runs
+// on a distributed backend (internal/dist) that shards each job's
+// walkers over the given cmd/worker fleet, with per-worker slot
+// accounting and cross-worker first-solution cancellation. The pool
+// size becomes the fleet's total slot capacity (-slots is ignored).
 //
 // Endpoints:
 //
@@ -30,9 +37,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/service"
 )
 
@@ -51,8 +60,23 @@ func run() error {
 		defaultTimeout = flag.Duration("default-timeout", 0, "per-job deadline when the request sets none (0 = 30s)")
 		maxTimeout     = flag.Duration("max-timeout", 0, "cap on request-supplied deadlines (0 = 5m)")
 		ttl            = flag.Duration("ttl", 0, "finished-job retention (0 = 10m)")
+		workers        = flag.String("workers", "", "comma-separated worker base URLs; empty runs jobs in-process")
 	)
 	flag.Parse()
+
+	var backend service.Backend
+	if *workers != "" {
+		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+			Workers: strings.Split(*workers, ","),
+		})
+		if err != nil {
+			return err
+		}
+		for _, w := range coord.Workers() {
+			log.Printf("serve: enrolled worker %s (%d slots)", w.URL, w.Slots)
+		}
+		backend = coord
+	}
 
 	sched := service.New(service.Config{
 		Slots:          *slots,
@@ -60,6 +84,7 @@ func run() error {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		ResultTTL:      *ttl,
+		Backend:        backend,
 	})
 	expvar.Publish("scheduler", expvar.Func(func() any { return sched.Stats() }))
 
@@ -75,8 +100,8 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() {
 		cfg := sched.Config()
-		log.Printf("serve: listening on %s (slots=%d queue=%d default-timeout=%v ttl=%v)",
-			*addr, cfg.Slots, cfg.QueueDepth, cfg.DefaultTimeout, cfg.ResultTTL)
+		log.Printf("serve: listening on %s (backend=%s slots=%d queue=%d default-timeout=%v ttl=%v)",
+			*addr, cfg.Backend.Name(), cfg.Slots, cfg.QueueDepth, cfg.DefaultTimeout, cfg.ResultTTL)
 		errc <- srv.ListenAndServe()
 	}()
 

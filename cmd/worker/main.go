@@ -1,0 +1,83 @@
+// Command worker runs one distributed-solve worker process: it
+// executes walker shards on behalf of a coordinator (cmd/serve
+// -workers, or a dist.Coordinator embedded elsewhere) over the small
+// HTTP JSON protocol of internal/dist.
+//
+// Usage:
+//
+//	worker -addr :9101 -slots 4
+//
+// Endpoints:
+//
+//	POST /v1/run              run a walker shard (blocks until done)
+//	POST /v1/runs/{id}/cancel cancel an in-flight shard run
+//	GET  /healthz             liveness + slot capacity and usage
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener drains,
+// in-flight shard runs are cancelled, and their final (interrupted)
+// statistics are delivered to the coordinator before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr  = flag.String("addr", ":9101", "listen address")
+		slots = flag.Int("slots", 0, "walker-slot capacity (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	wk := dist.NewWorker(dist.WorkerConfig{Slots: *slots})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           wk.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("worker: listening on %s (slots=%d)", *addr, wk.Slots())
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		wk.Close()
+		return err
+	case sig := <-stop:
+		log.Printf("worker: %v — shutting down", sig)
+	}
+
+	// Cancel in-flight runs first so their handlers finish (delivering
+	// interrupted stats), then drain the listener.
+	wk.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("worker: listener shutdown: %v", err)
+	}
+	log.Printf("worker: drained cleanly")
+	return nil
+}

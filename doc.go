@@ -14,6 +14,11 @@
 //   - internal/multiwalk — parallel independent multi-walk execution
 //     (plus the paper's future-work dependent scheme)
 //   - internal/csp       — declarative constraint modeling
+//   - internal/service   — admission-controlled solve scheduler
+//     (cmd/serve exposes it over HTTP)
+//   - internal/dist      — distributed coordinator/worker layer that
+//     shards a job's walkers over worker processes (cmd/worker) with
+//     bit-for-bit reproducibility against the single-process run
 //   - internal/stats     — runtime-distribution analysis and the
 //     order-statistics speedup estimator
 //   - internal/cluster   — HA8000 / Grid'5000 platform simulation

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	loadgen -inprocess -jobs 200 -concurrency 32            # self-hosted smoke
+//	loadgen -inprocess -dist-workers 3 -jobs 200            # in-process distributed fleet
 //	loadgen -addr http://localhost:8080 -jobs 1000          # against cmd/serve
+//
+// -dist-workers n stands up n in-process dist workers plus a
+// coordinator backend behind the scheduler — the full distributed
+// serving path (shard planning, worker HTTP protocol, cross-worker
+// cancellation) in one race-detectable process.
 //
 // Every job must reach a terminal state; dropped results, failed jobs
 // or unexpected HTTP statuses make the process exit non-zero. 429
@@ -29,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/service"
 )
 
@@ -68,19 +75,37 @@ func run() error {
 		timeoutMS   = flag.Int64("job-timeout-ms", 15_000, "per-job solver deadline")
 		slots       = flag.Int("slots", 0, "in-process pool size (0 = GOMAXPROCS)")
 		queueDepth  = flag.Int("queue", 0, "in-process queue depth (0 = 256)")
+		distWorkers = flag.Int("dist-workers", 0, "with -inprocess: run jobs on this many in-process dist workers (0 = local backend)")
+		distSlots   = flag.Int("dist-slots", 2, "slot capacity of each in-process dist worker")
 		asyncEvery  = flag.Int("async-every", 5, "poll instead of wait for every n-th job (0 = always wait)")
 		seed        = flag.Int64("seed", 1, "workload shuffle seed")
 	)
 	flag.Parse()
 
+	if *distWorkers > 0 && !*inprocess {
+		return fmt.Errorf("-dist-workers builds an in-process fleet and requires -inprocess (to load-test a real fleet, point -addr at a serve -workers instance)")
+	}
 	base := *addr
 	client := http.DefaultClient
 	if *inprocess {
-		sched := service.New(service.Config{Slots: *slots, QueueDepth: *queueDepth})
+		var backend service.Backend
+		var fleetDown func()
+		if *distWorkers > 0 {
+			var err error
+			backend, fleetDown, err = inprocessFleet(*distWorkers, *distSlots)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("in-process fleet: %d workers x %d slots\n", *distWorkers, *distSlots)
+		}
+		sched := service.New(service.Config{Slots: *slots, QueueDepth: *queueDepth, Backend: backend})
 		srv := httptest.NewServer(service.NewHandler(sched))
 		defer func() {
 			srv.Close()
-			sched.Close()
+			sched.Close() // closes the coordinator backend too
+			if fleetDown != nil {
+				fleetDown()
+			}
 			fmt.Println("clean shutdown: scheduler drained")
 		}()
 		base = srv.URL
@@ -185,6 +210,34 @@ func run() error {
 		return fmt.Errorf("accounted for %d of %d jobs", got, *jobs)
 	}
 	return nil
+}
+
+// inprocessFleet stands up n dist workers behind httptest servers and
+// a coordinator over them — the whole distributed serving path inside
+// one process, which is what the race-enabled smoke runs exercise.
+func inprocessFleet(n, slotsEach int) (service.Backend, func(), error) {
+	workers := make([]*dist.Worker, 0, n)
+	servers := make([]*httptest.Server, 0, n)
+	urls := make([]string, 0, n)
+	down := func() {
+		for i := range servers {
+			servers[i].Close()
+			workers[i].Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		wk := dist.NewWorker(dist.WorkerConfig{Slots: slotsEach})
+		srv := httptest.NewServer(wk.Handler())
+		workers = append(workers, wk)
+		servers = append(servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Workers: urls})
+	if err != nil {
+		down()
+		return nil, nil, err
+	}
+	return coord, down, nil
 }
 
 // serverSlots reads the walker-slot pool size from /healthz.

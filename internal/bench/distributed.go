@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+// CollectVirtualSpeedupDist is CollectVirtualSpeedup executed on a
+// worker fleet: each rep's k-walker virtual job is sharded over the
+// coordinator's workers instead of running in this process. Because
+// walker identity is global (multiwalk.Shard), the reported mean is
+// bit-for-bit the one the local collection computes for the same seed
+// matrix — the fleet only buys wall-clock, never different numbers —
+// so distributed collections slot into the §2 analysis unchanged.
+func CollectVirtualSpeedupDist(ctx context.Context, c *dist.Coordinator, w Workload, k, reps int, seed uint64) (meanWinnerIters float64, err error) {
+	return collectVirtualDist(ctx, c, w, k, reps, seed, nil)
+}
+
+// CollectVirtualPortfolioDist is CollectVirtualPortfolio on a worker
+// fleet; see CollectVirtualSpeedupDist for the determinism contract.
+func CollectVirtualPortfolioDist(ctx context.Context, c *dist.Coordinator, w Workload, k, reps int, seed uint64, strategies []string) (meanWinnerIters float64, err error) {
+	if len(strategies) == 0 {
+		return 0, fmt.Errorf("bench: portfolio needs at least one strategy")
+	}
+	if len(strategies) > k {
+		return 0, fmt.Errorf("bench: portfolio of %d strategies needs at least that many walkers, got %d", len(strategies), k)
+	}
+	return collectVirtualDist(ctx, c, w, k, reps, seed, strategies)
+}
+
+// collectVirtualDist mirrors collectVirtual with the coordinator as
+// the executor. The job construction — tuned engine options, weight-1
+// portfolio entries, the seed schedule — is kept identical so the two
+// paths stay interchangeable.
+func collectVirtualDist(ctx context.Context, c *dist.Coordinator, w Workload, k, reps int, seed uint64, strategies []string) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c == nil {
+		return 0, fmt.Errorf("bench: nil coordinator")
+	}
+	probe, err := problems.New(w.Benchmark, w.Size)
+	if err != nil {
+		return 0, err
+	}
+	engine := core.TunedOptions(probe)
+	var portfolio []multiwalk.PortfolioEntry
+	for _, name := range strategies {
+		eng := engine
+		eng.Strategy = name
+		portfolio = append(portfolio, multiwalk.PortfolioEntry{Weight: 1, Engine: eng})
+	}
+	var sum float64
+	for rep := 0; rep < reps; rep++ {
+		res, err := c.RunVirtual(ctx, dist.JobSpec{
+			Problem:   w.Benchmark,
+			Size:      w.Size,
+			Walkers:   k,
+			Seed:      seed + uint64(rep)*7919,
+			Engine:    engine,
+			Portfolio: portfolio,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if res.Truncated {
+			return 0, fmt.Errorf("bench: distributed virtual %d-walk of %s truncated (worker lost or cancelled)", k, w)
+		}
+		if !res.Solved {
+			return 0, fmt.Errorf("bench: virtual %d-walk of %s unsolved", k, w)
+		}
+		sum += float64(res.WinnerIterations)
+	}
+	return sum / float64(reps), nil
+}

@@ -11,10 +11,16 @@
 package csp
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 )
+
+// ErrModel marks every model-validation failure reported by Compile,
+// so embedders (and the fuzz suite) can separate ill-formed models
+// from programming errors with errors.Is.
+var ErrModel = errors.New("csp: invalid model")
 
 // Model is a CSP over a permutation of [0, n). Variable i takes the
 // value cfg[i] + ValueOffset. Add constraints with the Add* methods,
@@ -73,28 +79,28 @@ func (m *Model) Constraints() int { return len(m.cons) }
 // instance per walker.
 func (m *Model) Compile() (*Compiled, error) {
 	if m.n < 1 {
-		return nil, fmt.Errorf("csp: model needs at least 1 variable, has %d", m.n)
+		return nil, fmt.Errorf("%w: needs at least 1 variable, has %d", ErrModel, m.n)
 	}
 	if len(m.cons) == 0 {
-		return nil, fmt.Errorf("csp: model has no constraints")
+		return nil, fmt.Errorf("%w: no constraints", ErrModel)
 	}
 	byVar := make([][]int32, m.n)
 	conVars := make([][]int32, len(m.cons))
 	maxVars := 0
 	for ci, c := range m.cons {
 		if len(c.vars) == 0 {
-			return nil, fmt.Errorf("csp: constraint %q has no variables", c.name)
+			return nil, fmt.Errorf("%w: constraint %q has no variables", ErrModel, c.name)
 		}
 		if c.fn == nil && c.coeffs != nil && len(c.coeffs) != len(c.vars) {
-			return nil, fmt.Errorf("csp: constraint %q has %d coeffs for %d vars", c.name, len(c.coeffs), len(c.vars))
+			return nil, fmt.Errorf("%w: constraint %q has %d coeffs for %d vars", ErrModel, c.name, len(c.coeffs), len(c.vars))
 		}
 		if c.weight <= 0 {
-			return nil, fmt.Errorf("csp: constraint %q has non-positive weight %d", c.name, c.weight)
+			return nil, fmt.Errorf("%w: constraint %q has non-positive weight %d", ErrModel, c.name, c.weight)
 		}
 		seen := map[int]bool{}
 		for _, v := range c.vars {
 			if v < 0 || v >= m.n {
-				return nil, fmt.Errorf("csp: constraint %q references variable %d outside [0,%d)", c.name, v, m.n)
+				return nil, fmt.Errorf("%w: constraint %q references variable %d outside [0,%d)", ErrModel, c.name, v, m.n)
 			}
 			if !seen[v] {
 				seen[v] = true

@@ -1,0 +1,549 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+// CoordinatorConfig configures a coordinator over a worker fleet.
+type CoordinatorConfig struct {
+	// Workers lists the worker base URLs (e.g. "http://10.0.0.7:9101").
+	// At least one is required; each is probed for its slot capacity at
+	// construction time.
+	Workers []string
+	// Client is the HTTP client used for all worker traffic. nil
+	// selects a dedicated client with no global timeout (run requests
+	// are long-polls bounded by their context).
+	Client *http.Client
+	// ProbeTimeout bounds the enrollment health probe per worker. 0
+	// selects 5s.
+	ProbeTimeout time.Duration
+}
+
+// JobSpec describes one distributed multi-walk job. It is the
+// transportable subset of (factory, multiwalk.Options): problems are
+// named, not passed as closures, and engine options must not carry
+// process-local hooks (Monitor) or the in-process Exchange scheme.
+type JobSpec struct {
+	// Problem and Size name the benchmark instance in the shared
+	// registry.
+	Problem string
+	Size    int
+	// Walkers is the whole job's walker count k.
+	Walkers int
+	// Seed is the master seed; walker w of the job draws seed w of the
+	// master stream no matter which worker runs it.
+	Seed uint64
+	// Engine holds the per-walker engine options (Portfolio overrides
+	// it, exactly as in multiwalk.Options).
+	Engine core.Options
+	// Portfolio, when non-empty, runs a heterogeneous portfolio with
+	// entries assigned by global walker index.
+	Portfolio []multiwalk.PortfolioEntry
+}
+
+// workerRef is one enrolled worker plus its slot accounting.
+type workerRef struct {
+	index int
+	base  string
+	slots int
+	busy  int // guarded by Coordinator.mu
+}
+
+// WorkerInfo describes an enrolled worker.
+type WorkerInfo struct {
+	URL   string `json:"url"`
+	Slots int    `json:"slots"`
+	Busy  int    `json:"busy"`
+}
+
+// Coordinator shards multi-walk jobs over a fleet of workers. It
+// implements the same contract as multiwalk.Run / RunVirtual — walker
+// identity, portfolio assignment and the min-iterations virtual winner
+// are bit-for-bit those of the single-process run — and satisfies
+// service.Backend, so a Scheduler can serve its traffic from the fleet
+// (cmd/serve -workers).
+type Coordinator struct {
+	client *http.Client
+
+	mu      sync.Mutex
+	workers []*workerRef
+
+	seq atomic.Uint64
+}
+
+// NewCoordinator enrolls the configured workers, probing each for its
+// slot capacity, and fails if any worker is unreachable — a fleet that
+// starts degraded is a misconfiguration, while one that degrades later
+// is handled at run time (lost shards surface as Truncated results).
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: coordinator needs at least one worker URL")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 5 * time.Second
+	}
+	c := &Coordinator{client: client}
+	for i, base := range cfg.Workers {
+		slots, err := c.probe(base, probeTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("dist: enrolling worker %s: %w", base, err)
+		}
+		c.workers = append(c.workers, &workerRef{index: i, base: base, slots: slots})
+	}
+	return c, nil
+}
+
+// probe reads a worker's slot capacity from its health endpoint.
+func (c *Coordinator) probe(base string, timeout time.Duration) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Slots int `json:"slots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return 0, fmt.Errorf("decoding healthz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if health.Slots < 1 {
+		return 0, fmt.Errorf("worker reports %d slots", health.Slots)
+	}
+	return health.Slots, nil
+}
+
+// Name identifies the backend in service logs and metrics.
+func (c *Coordinator) Name() string {
+	return fmt.Sprintf("dist(%d workers)", len(c.workers))
+}
+
+// Slots returns the fleet's total walker-slot capacity.
+func (c *Coordinator) Slots() int {
+	total := 0
+	for _, w := range c.workers {
+		total += w.slots
+	}
+	return total
+}
+
+// Workers returns a snapshot of the enrolled fleet.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerInfo, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerInfo{URL: w.base, Slots: w.slots, Busy: w.busy}
+	}
+	return out
+}
+
+// Close releases the coordinator. Runs in flight keep their slot
+// reservations until they unwind; the coordinator holds no goroutines
+// of its own between runs.
+func (c *Coordinator) Close() {}
+
+// Run executes the job in wall-clock mode: every shard's walkers run
+// concurrently on their worker, and the first shard to report a
+// solution triggers cancel RPCs to the rest ("no communication between
+// the simultaneous computations except for completion").
+func (c *Coordinator) Run(ctx context.Context, job JobSpec) (multiwalk.Result, error) {
+	return c.run(ctx, ModeRun, job)
+}
+
+// RunVirtual executes the job in deterministic virtual mode: every
+// walker runs to completion and the fewest-iterations walker wins.
+// The merged result is bit-for-bit identical to a single-process
+// multiwalk.RunVirtual with the same (problem, options, seed) — the
+// property the experiment harness and the golden-trace suite pin.
+func (c *Coordinator) RunVirtual(ctx context.Context, job JobSpec) (multiwalk.Result, error) {
+	return c.run(ctx, ModeVirtual, job)
+}
+
+// RunJob adapts the coordinator to the service.Backend contract. The
+// factory is ignored — workers build their own problem instances from
+// the registry — and the options' Progress hook, which cannot stream
+// across processes, is replayed from the final per-walker statistics
+// so the scheduler's throughput counters stay truthful.
+func (c *Coordinator) RunJob(ctx context.Context, problem string, size int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error) {
+	_ = factory
+	if opts.Exchange.Enabled {
+		return multiwalk.Result{}, errors.New("dist: the exchange scheme is process-local and cannot run distributed")
+	}
+	res, err := c.Run(ctx, JobSpec{
+		Problem:   problem,
+		Size:      size,
+		Walkers:   opts.Walkers,
+		Seed:      opts.Seed,
+		Engine:    opts.Engine,
+		Portfolio: opts.Portfolio,
+	})
+	if err == nil && opts.Progress != nil {
+		for _, ws := range res.Walkers {
+			if ws.Result.Iterations > 0 {
+				opts.Progress(ws.Walker, ws.Result.Iterations, ws.Result.Cost)
+			}
+		}
+	}
+	return res, err
+}
+
+// assignment is one shard placed on one worker.
+type assignment struct {
+	worker   *workerRef
+	start    int
+	count    int
+	reserved int
+	runID    string
+}
+
+// shardOutcome is the terminal state of one shard request.
+type shardOutcome struct {
+	res  multiwalk.Result
+	lost bool  // transport-level loss: no stats came back
+	err  error // application-level rejection (bad options)
+}
+
+func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiwalk.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if job.Walkers < 1 {
+		return multiwalk.Result{}, fmt.Errorf("dist: Walkers must be >= 1, got %d", job.Walkers)
+	}
+	if job.Engine.Monitor != nil {
+		return multiwalk.Result{}, errors.New("dist: engine Monitor hooks cannot cross process boundaries")
+	}
+	for i := range job.Portfolio {
+		if job.Portfolio[i].Engine.Monitor != nil {
+			return multiwalk.Result{}, fmt.Errorf("dist: portfolio[%d] carries a Monitor hook, which cannot cross process boundaries", i)
+		}
+	}
+
+	plan, release, err := c.plan(mode, job.Walkers)
+	if err != nil {
+		return multiwalk.Result{}, err
+	}
+	defer release()
+
+	// Worker-side deadline: the remaining context budget, so an
+	// orphaned shard self-terminates even if the coordinator dies
+	// without delivering a cancel.
+	var deadlineMS int64
+	if dl, ok := ctx.Deadline(); ok {
+		deadlineMS = time.Until(dl).Milliseconds()
+		if deadlineMS < 1 {
+			deadlineMS = 1
+		}
+	}
+
+	engineSpec := EngineSpecFor(job.Engine)
+	portfolio := make([]PortfolioSpec, len(job.Portfolio))
+	for i, e := range job.Portfolio {
+		portfolio[i] = PortfolioSpec{Weight: e.Weight, Engine: EngineSpecFor(e.Engine)}
+	}
+
+	start := time.Now()
+	jobID := c.seq.Add(1)
+	outcomes := make([]shardOutcome, len(plan))
+	var solvedOnce sync.Once
+	var wg sync.WaitGroup
+	for i := range plan {
+		plan[i].runID = fmt.Sprintf("job%06d-s%d", jobID, i)
+	}
+
+	// Pre-cancelled caller: don't contact the fleet at all — report
+	// the walkers as never-run, exactly like a pre-cancelled RunVirtual
+	// sweep reports its unrun tail.
+	if ctx.Err() != nil {
+		shards := make([]multiwalk.Result, len(plan))
+		for i := range plan {
+			shards[i] = lostShardResult(&plan[i], job)
+		}
+		res, err := multiwalk.CombineShards(job.Walkers, shards...)
+		if err != nil {
+			return multiwalk.Result{}, err
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Shard requests are detached from the caller's context:
+	// cancellation is delivered as cancel RPCs, so the workers answer
+	// with their partial statistics instead of losing them to an
+	// aborted connection. If a worker sits on its response past the
+	// grace period (or the cancel RPC raced the run registration), the
+	// hard cancel severs the connection — and the worker-side DeadlineMS
+	// bound reaps the run itself.
+	reqCtx, hardCancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer hardCancel()
+	stopNotify := context.AfterFunc(ctx, func() {
+		c.cancelShards(plan, -1)
+		time.AfterFunc(cancelGrace, hardCancel)
+	})
+	defer stopNotify()
+
+	for i := range plan {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := &plan[i]
+			req := RunRequest{
+				ID:           a.runID,
+				Mode:         mode,
+				Problem:      job.Problem,
+				Size:         job.Size,
+				Seed:         job.Seed,
+				TotalWalkers: job.Walkers,
+				Start:        a.start,
+				Count:        a.count,
+				Engine:       engineSpec,
+				Portfolio:    portfolio,
+				DeadlineMS:   deadlineMS,
+			}
+			outcomes[i] = c.runShard(reqCtx, a, req)
+			if mode == ModeRun && outcomes[i].err == nil && !outcomes[i].lost && outcomes[i].res.Solved {
+				// First-solution termination: tell the other workers to
+				// stop. Cancel RPCs — not aborted connections — so the
+				// losers still deliver their partial statistics; the
+				// same grace-then-hard-cancel backstop as external
+				// cancellation keeps a stalled loser (or a cancel RPC
+				// that raced the run registration) from blocking the
+				// job forever.
+				solvedOnce.Do(func() {
+					c.cancelShards(plan, i)
+					time.AfterFunc(cancelGrace, hardCancel)
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	shards := make([]multiwalk.Result, 0, len(plan))
+	anyLost := false
+	for i, out := range outcomes {
+		if out.err != nil {
+			return multiwalk.Result{}, fmt.Errorf("dist: worker %s: %w", plan[i].worker.base, out.err)
+		}
+		if out.lost {
+			anyLost = true
+			shards = append(shards, lostShardResult(&plan[i], job))
+			continue
+		}
+		shards = append(shards, out.res)
+	}
+	res, err := multiwalk.CombineShards(job.Walkers, shards...)
+	if err != nil {
+		// A worker violated the protocol (wrong or duplicate walker
+		// indices). Surface it as an error, never as a fabricated run.
+		return multiwalk.Result{}, fmt.Errorf("dist: inconsistent shard stats: %w", err)
+	}
+	if anyLost {
+		res.Truncated = true
+	}
+	if mode == ModeRun && res.Solved {
+		// Losers interrupted after the winner's cancel are the normal
+		// completion mechanism, exactly as in multiwalk.Run: a solved
+		// wall-clock run is never truncated (a lost loser leaves its
+		// mark in Completed < Walkers instead). Virtual mode keeps
+		// sticky truncation — a walker that never ran to completion
+		// taints the deterministic winner even when another solved,
+		// matching RunVirtual's mid-sweep cancellation semantics.
+		res.Truncated = false
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// lostShardResult synthesizes the stats of a shard whose worker was
+// lost: each walker keeps its global identity and portfolio entry and
+// carries an empty Interrupted result — never fabricated work.
+func lostShardResult(a *assignment, job JobSpec) multiwalk.Result {
+	stats := make([]multiwalk.WalkerStat, a.count)
+	for i := range stats {
+		g := a.start + i
+		stats[i] = multiwalk.WalkerStat{
+			Walker: g,
+			Entry:  multiwalk.EntryFor(job.Portfolio, job.Walkers, g),
+			Result: core.Result{Interrupted: true, Cost: math.MaxInt},
+		}
+	}
+	return multiwalk.Result{Winner: -1, Walkers: stats, Completed: 0, Truncated: true}
+}
+
+// plan partitions k walkers over the fleet's free capacity and
+// reserves the slots it uses; release returns them. ModeRun places at
+// most free-slot walkers per worker (they run concurrently); a job
+// that fits the fleet's total free capacity always fits, because
+// shards split at arbitrary boundaries. ModeVirtual reserves one slot
+// per participating worker (shards run sequentially) and splits the
+// walkers proportionally to worker capacity, so the slowest shard —
+// the distributed collection's wall-clock — is balanced.
+func (c *Coordinator) plan(mode string, k int) ([]assignment, func(), error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var plan []assignment
+	switch mode {
+	case ModeVirtual:
+		var eligible []*workerRef
+		weight := 0
+		for _, w := range c.workers {
+			if w.slots-w.busy >= 1 {
+				eligible = append(eligible, w)
+				weight += w.slots
+			}
+		}
+		if len(eligible) == 0 {
+			return nil, nil, fmt.Errorf("%w: no worker has a free slot", ErrNoCapacity)
+		}
+		// Largest-remainder proportional split, ties to earlier
+		// workers; zero-walker workers drop out of the plan.
+		counts := make([]int, len(eligible))
+		assigned := 0
+		for i, w := range eligible {
+			counts[i] = k * w.slots / weight
+			assigned += counts[i]
+		}
+		for i := 0; assigned < k; i = (i + 1) % len(eligible) {
+			counts[i]++
+			assigned++
+		}
+		next := 0
+		for i, w := range eligible {
+			if counts[i] == 0 {
+				continue
+			}
+			plan = append(plan, assignment{worker: w, start: next, count: counts[i], reserved: 1})
+			next += counts[i]
+		}
+	default: // ModeRun
+		free := 0
+		for _, w := range c.workers {
+			free += w.slots - w.busy
+		}
+		if free < k {
+			return nil, nil, fmt.Errorf("%w: job needs %d walkers, fleet has %d free slots", ErrNoCapacity, k, free)
+		}
+		next := 0
+		for _, w := range c.workers {
+			if next == k {
+				break
+			}
+			take := min(k-next, w.slots-w.busy)
+			if take <= 0 {
+				continue
+			}
+			plan = append(plan, assignment{worker: w, start: next, count: take, reserved: take})
+			next += take
+		}
+	}
+
+	for i := range plan {
+		plan[i].worker.busy += plan[i].reserved
+	}
+	release := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for i := range plan {
+			plan[i].worker.busy -= plan[i].reserved
+		}
+	}
+	return plan, release, nil
+}
+
+// runShard posts one shard run and waits for its statistics.
+func (c *Coordinator) runShard(ctx context.Context, a *assignment, reqBody RunRequest) shardOutcome {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return shardOutcome{err: err}
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, a.worker.base+"/v1/run", bytes.NewReader(payload))
+	if err != nil {
+		return shardOutcome{err: err}
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(httpReq)
+	if err != nil {
+		// Transport loss: connection refused, reset mid-run, context
+		// cancelled. No stats came back — the shard is lost, and the
+		// merged result must say so (Truncated), not guess.
+		return shardOutcome{lost: true}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err != nil || e.Error == "" {
+			return shardOutcome{lost: true}
+		}
+		if resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusTooManyRequests {
+			// The worker understood us and said no: an application
+			// error the caller must see (bad options reject the whole
+			// job; capacity conflicts mean a mis-shared fleet).
+			return shardOutcome{err: errors.New(e.Error)}
+		}
+		return shardOutcome{lost: true}
+	}
+	var wire RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return shardOutcome{lost: true}
+	}
+	return shardOutcome{res: resultFromWire(wire)}
+}
+
+// cancelGrace is how long the coordinator waits, after delivering
+// cancel RPCs, for workers to flush their partial statistics before it
+// severs the connections.
+const cancelGrace = 30 * time.Second
+
+// cancelShards delivers best-effort cancel RPCs to every shard except
+// skip (pass -1 to cancel all). A bounded background context — not the
+// job context — carries them, so cancellation still reaches workers
+// when the caller's context is the thing that expired.
+func (c *Coordinator) cancelShards(plan []assignment, skip int) {
+	for i := range plan {
+		if i == skip {
+			continue
+		}
+		go func(a *assignment) {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.worker.base+"/v1/runs/"+a.runID+"/cancel", nil)
+			if err != nil {
+				return
+			}
+			if resp, err := c.client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}(&plan[i])
+	}
+}

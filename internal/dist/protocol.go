@@ -1,0 +1,371 @@
+// Package dist shards multi-walk jobs across worker processes: a
+// Coordinator partitions a job's walkers into contiguous shards, ships
+// each shard to a Worker over a small HTTP JSON protocol, and merges
+// the per-walker statistics back into one multiwalk.Result.
+//
+// The paper's independent multi-walk scheme makes this split almost
+// free: walkers exchange no data during the search, so the only
+// messages are the shard assignment, the final per-walker statistics,
+// and (in wall-clock mode) the first-solution cancellation — the same
+// minimal-communication design as the paper's MPI deployment and the
+// X10/Cell follow-ups.
+//
+// Determinism is the design center. A walker's identity — its seed
+// stream, its portfolio entry, its index in the result — is derived
+// from the *global* walker index (multiwalk.Shard), never from its
+// position within a shard or the worker it landed on. A distributed
+// virtual run therefore reproduces the single-process
+// multiwalk.RunVirtual bit-for-bit for the same (problem, options,
+// seed), regardless of how the walkers were partitioned, and the whole
+// §2 performance analysis transfers unchanged. See DESIGN.md §8.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+// Typed protocol errors. The worker HTTP layer maps ErrBadRequest to
+// 400 and ErrBusy to 429; the coordinator surfaces ErrNoCapacity when
+// a job cannot be placed on the current fleet.
+var (
+	// ErrBadRequest marks a run request that failed structural
+	// validation (malformed JSON, unknown problem or strategy,
+	// inconsistent shard range). Every error returned by
+	// DecodeRunRequest wraps it.
+	ErrBadRequest = errors.New("dist: bad request")
+	// ErrBusy reports a worker rejecting a shard that exceeds its free
+	// slot capacity. The coordinator's own accounting makes this rare;
+	// it exists so a worker shared by several coordinators fails fast
+	// instead of oversubscribing.
+	ErrBusy = errors.New("dist: worker at capacity")
+	// ErrNoCapacity reports that the fleet's free slots cannot hold a
+	// job's walkers.
+	ErrNoCapacity = errors.New("dist: insufficient free worker capacity")
+)
+
+// Execution modes of a shard run.
+const (
+	// ModeRun executes the shard's walkers concurrently (multiwalk.Run):
+	// the wall-clock production mode, cancelled by the coordinator as
+	// soon as any shard reports a solution.
+	ModeRun = "run"
+	// ModeVirtual executes the shard's walkers sequentially to
+	// completion (multiwalk.RunVirtual): the deterministic mode whose
+	// merged result is bit-for-bit the single-process virtual run.
+	ModeVirtual = "virtual"
+)
+
+// Structural caps applied at decode time, keeping an adversarial or
+// corrupted request from ballooning worker memory before validation
+// proper (the fuzz suite leans on these).
+const (
+	maxWalkers        = 1 << 20
+	maxSize           = 1 << 20
+	maxPortfolio      = 4096
+	maxInitialConfig  = 1 << 20
+	maxRequestBodyLen = 8 << 20
+)
+
+// RunRequest is the worker protocol's only command: run the global
+// walkers [Start, Start+Count) of a TotalWalkers-walker job.
+type RunRequest struct {
+	// ID names the run for POST /v1/runs/{id}/cancel. The coordinator
+	// makes it unique per (job, worker); workers reject duplicates.
+	ID string `json:"id"`
+	// Mode is ModeRun or ModeVirtual.
+	Mode string `json:"mode"`
+	// Problem and Size identify the benchmark instance; every worker
+	// builds its own instances from the shared registry (configurations
+	// never cross the wire, only names and statistics).
+	Problem string `json:"problem"`
+	Size    int    `json:"size,omitempty"`
+	// Seed is the job's master seed. Workers derive the full
+	// TotalWalkers-long seed sequence and use the slice their shard
+	// covers, so seeds never depend on the partition.
+	Seed uint64 `json:"seed"`
+	// TotalWalkers, Start, Count describe the shard: global walkers
+	// [Start, Start+Count) of a TotalWalkers-walker job.
+	TotalWalkers int `json:"total_walkers"`
+	Start        int `json:"start"`
+	Count        int `json:"count"`
+	// Engine carries the fully resolved engine options. The coordinator
+	// resolves tuning once and ships numbers; workers apply them
+	// verbatim, so coordinator and worker registries cannot drift.
+	Engine EngineSpec `json:"engine"`
+	// Portfolio, when non-empty, is the job's heterogeneous portfolio.
+	// Entry assignment uses the global walker index.
+	Portfolio []PortfolioSpec `json:"portfolio,omitempty"`
+	// DeadlineMS bounds the shard run on the worker itself, so an
+	// orphaned run (coordinator gone without cancelling) cannot hold
+	// slots forever. 0 means no worker-side deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// EngineSpec is the wire form of core.Options: every numeric tunable,
+// none of the process-local hooks (Monitor cannot cross a process
+// boundary; the coordinator rejects jobs carrying one).
+type EngineSpec struct {
+	MaxIterations    int64   `json:"max_iterations,omitempty"`
+	MaxRuns          int     `json:"max_runs,omitempty"`
+	FreezeLocMin     int     `json:"freeze_loc_min,omitempty"`
+	FreezeSwap       int     `json:"freeze_swap,omitempty"`
+	ResetLimit       int     `json:"reset_limit,omitempty"`
+	ResetFraction    float64 `json:"reset_fraction,omitempty"`
+	ProbSelectLocMin float64 `json:"prob_select_loc_min,omitempty"`
+	Strategy         string  `json:"strategy,omitempty"`
+	FirstBest        bool    `json:"first_best,omitempty"`
+	Exhaustive       bool    `json:"exhaustive,omitempty"`
+	CheckEvery       int     `json:"check_every,omitempty"`
+	InitialConfig    []int   `json:"initial_config,omitempty"`
+}
+
+// PortfolioSpec is the wire form of multiwalk.PortfolioEntry.
+type PortfolioSpec struct {
+	Weight int        `json:"weight,omitempty"`
+	Engine EngineSpec `json:"engine"`
+}
+
+// WalkerStatWire is the wire form of multiwalk.WalkerStat. Walker is
+// the global index; Elapsed travels as nanoseconds.
+type WalkerStatWire struct {
+	Walker         int    `json:"walker"`
+	Entry          int    `json:"entry"`
+	Solved         bool   `json:"solved"`
+	Solution       []int  `json:"solution,omitempty"`
+	Cost           int    `json:"cost"`
+	Strategy       string `json:"strategy,omitempty"`
+	Iterations     int64  `json:"iterations"`
+	Swaps          int64  `json:"swaps"`
+	LocalMinima    int64  `json:"local_minima"`
+	PlateauEscapes int64  `json:"plateau_escapes"`
+	Resets         int64  `json:"resets"`
+	Restarts       int    `json:"restarts"`
+	Interrupted    bool   `json:"interrupted"`
+	ElapsedNS      int64  `json:"elapsed_ns"`
+	Adoptions      int64  `json:"adoptions,omitempty"`
+}
+
+// RunResponse reports a finished shard run.
+type RunResponse struct {
+	Stats     []WalkerStatWire `json:"stats"`
+	Completed int              `json:"completed"`
+	Truncated bool             `json:"truncated"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+}
+
+// DecodeRunRequest reads and structurally validates one RunRequest.
+// Every error wraps ErrBadRequest, so callers (and the fuzz suite) can
+// separate client mistakes from worker faults with errors.Is. Deep
+// option validation stays where it lives for local runs — core and
+// multiwalk — and is mapped to the same typed error by the worker.
+func DecodeRunRequest(r io.Reader) (RunRequest, error) {
+	var req RunRequest
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBodyLen))
+	if err := dec.Decode(&req); err != nil {
+		return RunRequest{}, fmt.Errorf("%w: invalid JSON: %v", ErrBadRequest, err)
+	}
+	if err := req.Validate(); err != nil {
+		return RunRequest{}, err
+	}
+	return req, nil
+}
+
+// Validate checks the request's structure against the registries and
+// the shard arithmetic. Errors wrap ErrBadRequest.
+func (req *RunRequest) Validate() error {
+	if req.ID == "" {
+		return fmt.Errorf("%w: missing run id", ErrBadRequest)
+	}
+	if req.Mode != ModeRun && req.Mode != ModeVirtual {
+		return fmt.Errorf("%w: unknown mode %q (want %q or %q)", ErrBadRequest, req.Mode, ModeRun, ModeVirtual)
+	}
+	if _, err := problems.Describe(req.Problem); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.Size < 0 || req.Size > maxSize {
+		return fmt.Errorf("%w: size %d outside [0, %d]", ErrBadRequest, req.Size, maxSize)
+	}
+	if req.TotalWalkers < 1 || req.TotalWalkers > maxWalkers {
+		return fmt.Errorf("%w: total_walkers %d outside [1, %d]", ErrBadRequest, req.TotalWalkers, maxWalkers)
+	}
+	// Range-check Start and Count individually before relating them to
+	// TotalWalkers: the naive Start+Count > TotalWalkers comparison
+	// overflows for adversarial values and waves the shard through.
+	if req.Count < 1 || req.Count > req.TotalWalkers ||
+		req.Start < 0 || req.Start > req.TotalWalkers-req.Count {
+		return fmt.Errorf("%w: shard start=%d count=%d outside job of %d walkers", ErrBadRequest, req.Start, req.Count, req.TotalWalkers)
+	}
+	if req.DeadlineMS < 0 {
+		return fmt.Errorf("%w: negative deadline", ErrBadRequest)
+	}
+	if len(req.Portfolio) > maxPortfolio {
+		return fmt.Errorf("%w: portfolio of %d entries exceeds %d", ErrBadRequest, len(req.Portfolio), maxPortfolio)
+	}
+	if err := req.Engine.validate("engine"); err != nil {
+		return err
+	}
+	for i := range req.Portfolio {
+		if req.Portfolio[i].Weight < 0 {
+			return fmt.Errorf("%w: portfolio[%d]: negative weight", ErrBadRequest, i)
+		}
+		if err := req.Portfolio[i].Engine.validate(fmt.Sprintf("portfolio[%d]", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the wire-level invariants of an engine spec.
+func (s *EngineSpec) validate(where string) error {
+	if s.Strategy != "" && !knownStrategy(s.Strategy) {
+		return fmt.Errorf("%w: %s: unknown strategy %q (known: %v)", ErrBadRequest, where, s.Strategy, core.StrategyNames())
+	}
+	if s.MaxIterations < 0 || s.MaxRuns < 0 || s.FreezeLocMin < 0 || s.FreezeSwap < 0 ||
+		s.ResetLimit < 0 || s.CheckEvery < 0 {
+		return fmt.Errorf("%w: %s: negative engine budget", ErrBadRequest, where)
+	}
+	if s.ResetFraction < 0 || s.ResetFraction > 1 || math.IsNaN(s.ResetFraction) {
+		return fmt.Errorf("%w: %s: reset_fraction %v outside [0, 1]", ErrBadRequest, where, s.ResetFraction)
+	}
+	if s.ProbSelectLocMin < 0 || s.ProbSelectLocMin > 1 || math.IsNaN(s.ProbSelectLocMin) {
+		return fmt.Errorf("%w: %s: prob_select_loc_min %v outside [0, 1]", ErrBadRequest, where, s.ProbSelectLocMin)
+	}
+	if len(s.InitialConfig) > maxInitialConfig {
+		return fmt.Errorf("%w: %s: initial_config of %d variables exceeds %d", ErrBadRequest, where, len(s.InitialConfig), maxInitialConfig)
+	}
+	return nil
+}
+
+// knownStrategy checks a name against the engine's strategy registry.
+func knownStrategy(name string) bool {
+	for _, n := range core.StrategyNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// EngineSpecFor converts resolved engine options into their wire form.
+// The process-local hooks (Monitor) are not representable; callers
+// must reject them before converting (see Coordinator).
+func EngineSpecFor(o core.Options) EngineSpec {
+	return EngineSpec{
+		MaxIterations:    o.MaxIterations,
+		MaxRuns:          o.MaxRuns,
+		FreezeLocMin:     o.FreezeLocMin,
+		FreezeSwap:       o.FreezeSwap,
+		ResetLimit:       o.ResetLimit,
+		ResetFraction:    o.ResetFraction,
+		ProbSelectLocMin: o.ProbSelectLocMin,
+		Strategy:         o.Strategy,
+		FirstBest:        o.FirstBest,
+		Exhaustive:       o.Exhaustive,
+		CheckEvery:       o.CheckEvery,
+		InitialConfig:    o.InitialConfig,
+	}
+}
+
+// Options converts the wire form back into engine options.
+func (s EngineSpec) Options() core.Options {
+	return core.Options{
+		MaxIterations:    s.MaxIterations,
+		MaxRuns:          s.MaxRuns,
+		FreezeLocMin:     s.FreezeLocMin,
+		FreezeSwap:       s.FreezeSwap,
+		ResetLimit:       s.ResetLimit,
+		ResetFraction:    s.ResetFraction,
+		ProbSelectLocMin: s.ProbSelectLocMin,
+		Strategy:         s.Strategy,
+		FirstBest:        s.FirstBest,
+		Exhaustive:       s.Exhaustive,
+		CheckEvery:       s.CheckEvery,
+		InitialConfig:    s.InitialConfig,
+	}
+}
+
+// wireStat converts one walker stat to its wire form.
+func wireStat(ws multiwalk.WalkerStat) WalkerStatWire {
+	r := ws.Result
+	return WalkerStatWire{
+		Walker:         ws.Walker,
+		Entry:          ws.Entry,
+		Solved:         r.Solved,
+		Solution:       r.Solution,
+		Cost:           r.Cost,
+		Strategy:       r.Strategy,
+		Iterations:     r.Iterations,
+		Swaps:          r.Swaps,
+		LocalMinima:    r.LocalMinima,
+		PlateauEscapes: r.PlateauEscapes,
+		Resets:         r.Resets,
+		Restarts:       r.Restarts,
+		Interrupted:    r.Interrupted,
+		ElapsedNS:      int64(r.Elapsed),
+		Adoptions:      ws.Adoptions,
+	}
+}
+
+// statFromWire converts one wire stat back into a WalkerStat.
+func statFromWire(w WalkerStatWire) multiwalk.WalkerStat {
+	return multiwalk.WalkerStat{
+		Walker: w.Walker,
+		Entry:  w.Entry,
+		Result: core.Result{
+			Solved:         w.Solved,
+			Solution:       w.Solution,
+			Cost:           w.Cost,
+			Strategy:       w.Strategy,
+			Iterations:     w.Iterations,
+			Swaps:          w.Swaps,
+			LocalMinima:    w.LocalMinima,
+			PlateauEscapes: w.PlateauEscapes,
+			Resets:         w.Resets,
+			Restarts:       w.Restarts,
+			Interrupted:    w.Interrupted,
+			Elapsed:        time.Duration(w.ElapsedNS),
+		},
+		Adoptions: w.Adoptions,
+	}
+}
+
+// wireResult converts a shard Result into a RunResponse.
+func wireResult(res multiwalk.Result) RunResponse {
+	out := RunResponse{
+		Stats:     make([]WalkerStatWire, len(res.Walkers)),
+		Completed: res.Completed,
+		Truncated: res.Truncated,
+		ElapsedNS: int64(res.Elapsed),
+	}
+	for i, ws := range res.Walkers {
+		out.Stats[i] = wireStat(ws)
+	}
+	return out
+}
+
+// resultFromWire converts a RunResponse back into a shard Result. The
+// aggregate fields (winner, totals) are recomputed by CombineShards on
+// the merged stats, so only the per-walker data and the shard-level
+// completion accounting cross the wire.
+func resultFromWire(resp RunResponse) multiwalk.Result {
+	res := multiwalk.Result{
+		Winner:    -1,
+		Walkers:   make([]multiwalk.WalkerStat, len(resp.Stats)),
+		Completed: resp.Completed,
+		Truncated: resp.Truncated,
+		Elapsed:   time.Duration(resp.ElapsedNS),
+	}
+	for i, w := range resp.Stats {
+		res.Walkers[i] = statFromWire(w)
+	}
+	return res
+}

@@ -1,0 +1,240 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/multiwalk"
+	"repro/internal/problems"
+)
+
+// WorkerConfig sizes one worker process.
+type WorkerConfig struct {
+	// Slots is the walker-slot capacity — how many concurrent engine
+	// goroutines this worker accepts across all shard runs (the
+	// paper's one-walker-per-core model). 0 selects GOMAXPROCS.
+	Slots int
+}
+
+// Worker executes shard runs on behalf of a coordinator. Expose it
+// over HTTP with Handler (cmd/worker does exactly that):
+//
+//	POST /v1/run              run a walker shard, respond with its stats
+//	POST /v1/runs/{id}/cancel cancel an in-flight shard run
+//	GET  /healthz             liveness + slot capacity and usage
+//
+// A run request blocks until the shard finishes (or is cancelled) and
+// answers with the per-walker statistics; cancellation arrives either
+// through the cancel endpoint (first-solution termination — the shard
+// still reports its partial stats) or by the coordinator dropping the
+// connection (orphan protection — the request context aborts the run).
+type Worker struct {
+	slots int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	busy   int
+	runs   map[string]context.CancelFunc
+	closed bool
+	wg     sync.WaitGroup
+
+	mRuns      atomic.Int64
+	mCancelled atomic.Int64
+}
+
+// NewWorker creates a worker with the given slot capacity.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Worker{
+		slots:  cfg.Slots,
+		ctx:    ctx,
+		cancel: cancel,
+		runs:   make(map[string]context.CancelFunc),
+	}
+}
+
+// Slots returns the worker's walker-slot capacity.
+func (wk *Worker) Slots() int { return wk.slots }
+
+// Close cancels every in-flight run and waits for them to unwind. New
+// runs are rejected afterwards.
+func (wk *Worker) Close() {
+	wk.mu.Lock()
+	wk.closed = true
+	wk.mu.Unlock()
+	wk.cancel()
+	wk.wg.Wait()
+}
+
+// Handler returns the worker's HTTP protocol surface.
+func (wk *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", wk.handleRun)
+	mux.HandleFunc("POST /v1/runs/{id}/cancel", wk.handleCancel)
+	mux.HandleFunc("GET /healthz", wk.handleHealth)
+	return mux
+}
+
+// reserve admits a shard run: slot accounting plus run registration.
+// ModeRun shards occupy one slot per walker (they run concurrently);
+// ModeVirtual shards occupy a single slot, because RunVirtual executes
+// its walkers sequentially on one core regardless of the shard size.
+func (wk *Worker) reserve(req *RunRequest, cancel context.CancelFunc) (release func(), err error) {
+	need := req.Count
+	if req.Mode == ModeVirtual {
+		need = 1
+	}
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if wk.closed {
+		return nil, errors.New("dist: worker shutting down")
+	}
+	if _, dup := wk.runs[req.ID]; dup {
+		return nil, fmt.Errorf("%w: duplicate run id %q", ErrBadRequest, req.ID)
+	}
+	if wk.busy+need > wk.slots {
+		return nil, fmt.Errorf("%w: %d slots requested, %d of %d free", ErrBusy, need, wk.slots-wk.busy, wk.slots)
+	}
+	wk.busy += need
+	wk.runs[req.ID] = cancel
+	wk.wg.Add(1)
+	id := req.ID
+	return func() {
+		wk.mu.Lock()
+		wk.busy -= need
+		delete(wk.runs, id)
+		wk.mu.Unlock()
+		wk.wg.Done()
+	}, nil
+}
+
+// handleRun executes one shard run and answers with its statistics.
+func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeRunRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// The run is bound to (a) the request context, so a vanished
+	// coordinator aborts it, (b) the worker lifetime, so Close drains
+	// it, and (c) the request's own deadline, so an orphan cannot hold
+	// slots forever even while the connection lingers.
+	runCtx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(wk.ctx, cancel)
+	defer stop()
+	if req.DeadlineMS > 0 {
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(runCtx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer tcancel()
+	}
+
+	release, err := wk.reserve(&req, cancel)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+
+	factory, err := problems.NewFactory(req.Problem, req.Size)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	opts := multiwalk.Options{
+		Walkers: req.Count,
+		Seed:    req.Seed,
+		Engine:  req.Engine.Options(),
+		Shard:   &multiwalk.Shard{Start: req.Start, Total: req.TotalWalkers},
+	}
+	for _, p := range req.Portfolio {
+		opts.Portfolio = append(opts.Portfolio, multiwalk.PortfolioEntry{Weight: p.Weight, Engine: p.Engine.Options()})
+	}
+
+	var res multiwalk.Result
+	if req.Mode == ModeVirtual {
+		res, err = multiwalk.RunVirtual(runCtx, multiwalk.Factory(factory), opts)
+	} else {
+		res, err = multiwalk.Run(runCtx, multiwalk.Factory(factory), opts)
+	}
+	if err != nil {
+		// Deep option validation failed (multiwalk/core reject) — the
+		// request was well-formed but unsatisfiable; a client error.
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	wk.mRuns.Add(1)
+	writeJSON(w, http.StatusOK, wireResult(res))
+}
+
+// handleCancel cancels an in-flight run. Cancelling an unknown (or
+// already finished) run is a no-op, reported in the response body —
+// the races are benign, so the call is idempotent by design.
+func (wk *Worker) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wk.mu.Lock()
+	cancel, ok := wk.runs[id]
+	wk.mu.Unlock()
+	if ok {
+		cancel()
+		wk.mCancelled.Add(1)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cancelled": ok})
+}
+
+// handleHealth reports liveness and slot headroom; the coordinator
+// reads Slots from here when it enrolls the worker.
+func (wk *Worker) handleHealth(w http.ResponseWriter, r *http.Request) {
+	wk.mu.Lock()
+	busy := wk.busy
+	active := len(wk.runs)
+	closed := wk.closed
+	wk.mu.Unlock()
+	status, code := "ok", http.StatusOK
+	if closed {
+		status, code = "shutting down", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":        status,
+		"slots":         wk.slots,
+		"slots_busy":    busy,
+		"active_runs":   active,
+		"runs_total":    wk.mRuns.Load(),
+		"cancels_total": wk.mCancelled.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrBusy):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusRequestTimeout
+	default:
+		// Shutdown and other availability failures.
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,170 @@
+package multiwalk
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+// inversionsProblem is a synthetic engine problem built for exchange
+// tests: the cost is the permutation's inversion count plus one. The
+// +1 makes it unsolvable — no walker can ever post cost 0, so a run
+// always burns its full budget and the exchange board stays busy for
+// the whole run — while the inversion landscape gives the adaptive
+// strategy a long, steady descent and leaves random-walk wandering
+// near its starting cost: a reliable leader/laggard gap for adoption
+// to act on, with zero reliance on timing.
+type inversionsProblem struct{ n int }
+
+func (p inversionsProblem) Size() int { return p.n }
+
+func (p inversionsProblem) Cost(cfg []int) int {
+	inv := 0
+	for i := 0; i < len(cfg); i++ {
+		for j := i + 1; j < len(cfg); j++ {
+			if cfg[i] > cfg[j] {
+				inv++
+			}
+		}
+	}
+	return inv + 1
+}
+
+func (p inversionsProblem) CostOnVariable(cfg []int, i int) int {
+	e := 0
+	for j := 0; j < len(cfg); j++ {
+		if j < i && cfg[j] > cfg[i] {
+			e++
+		}
+		if j > i && cfg[i] > cfg[j] {
+			e++
+		}
+	}
+	return e
+}
+
+func (p inversionsProblem) CostIfSwap(cfg []int, cost, i, j int) int {
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	c := p.Cost(cfg)
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	return c
+}
+
+// exchangePortfolioOptions is the shared setup: 2 adaptive leaders +
+// 2 random-walk laggards over the inversions landscape, polling the
+// board every few iterations.
+func exchangePortfolioOptions(adoptFactor float64) Options {
+	engine := core.Options{
+		MaxIterations: 600,
+		MaxRuns:       1,
+		CheckEvery:    4,
+	}
+	laggard := engine
+	laggard.Strategy = core.StrategyRandomWalk
+	return Options{
+		Walkers: 4,
+		Seed:    424242,
+		Portfolio: []PortfolioEntry{
+			{Weight: 2, Engine: engine},
+			{Weight: 2, Engine: laggard},
+		},
+		Exchange: ExchangeOptions{
+			Enabled:     true,
+			Period:      4,
+			AdoptFactor: adoptFactor,
+		},
+	}
+}
+
+// TestExchangeAdoptionHeterogeneousPortfolio covers the interaction
+// the exchange scheme was designed around but never tested under: a
+// mixed-strategy portfolio where the weaker strategy's walkers lag far
+// enough behind the board's best to trip the AdoptFactor threshold.
+func TestExchangeAdoptionHeterogeneousPortfolio(t *testing.T) {
+	factory := func() (core.Problem, error) { return inversionsProblem{n: 24}, nil }
+	res, err := Run(context.Background(), factory, exchangePortfolioOptions(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatalf("inversions+1 cannot be solved, got %+v", res)
+	}
+	if len(res.Walkers) != 4 {
+		t.Fatalf("expected 4 walker stats, got %d", len(res.Walkers))
+	}
+	wantEntries := []int{0, 0, 1, 1}
+	wantStrategies := []string{core.StrategyAdaptive, core.StrategyAdaptive, core.StrategyRandomWalk, core.StrategyRandomWalk}
+	var laggardAdoptions, totalAdoptions int64
+	for w, ws := range res.Walkers {
+		if ws.Walker != w || ws.Entry != wantEntries[w] {
+			t.Fatalf("walker %d: identity (walker=%d entry=%d), want entry %d", w, ws.Walker, ws.Entry, wantEntries[w])
+		}
+		if ws.Result.Strategy != wantStrategies[w] {
+			t.Fatalf("walker %d ran %q, want %q", w, ws.Result.Strategy, wantStrategies[w])
+		}
+		totalAdoptions += ws.Adoptions
+		if ws.Entry == 1 {
+			laggardAdoptions += ws.Adoptions
+		}
+	}
+	if totalAdoptions == 0 {
+		t.Fatal("AdoptFactor=1.0 with a leader/laggard strategy mix produced no adoptions")
+	}
+	if laggardAdoptions == 0 {
+		t.Fatal("random-walk laggards never adopted the adaptive elite")
+	}
+}
+
+// TestExchangeAdoptFactorGatesAdoption: an unreachable AdoptFactor
+// must yield exactly zero adoptions on the same workload — the
+// threshold, not the strategy mix, is what licenses teleports.
+func TestExchangeAdoptFactorGatesAdoption(t *testing.T) {
+	factory := func() (core.Problem, error) { return inversionsProblem{n: 24}, nil }
+	res, err := Run(context.Background(), factory, exchangePortfolioOptions(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, ws := range res.Walkers {
+		if ws.Adoptions != 0 {
+			t.Fatalf("walker %d adopted %d times despite AdoptFactor=1e9", w, ws.Adoptions)
+		}
+	}
+}
+
+// TestExchangeAdoptThresholdBoundary pins the strictly-greater-than
+// adoption rule at the boundary, deterministically, through the board
+// monitor itself: cost == AdoptFactor*best must not adopt, one above
+// must.
+func TestExchangeAdoptThresholdBoundary(t *testing.T) {
+	b := newExchangeBoard()
+	elite := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	b.publish(5, elite)
+
+	stat := &WalkerStat{}
+	x := ExchangeOptions{Enabled: true, Period: 10, AdoptFactor: 2, PerturbSwaps: 3}
+	mon := b.monitor(stat, x, 8, 1)
+
+	cfg := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	// cost 10 == 2*5: on the boundary, not strictly lagging.
+	if d := mon(10, 10, cfg); d.SetConfig != nil || stat.Adoptions != 0 {
+		t.Fatalf("boundary cost adopted: %+v (adoptions %d)", d, stat.Adoptions)
+	}
+	// cost 11 > 2*5: adopt, with a perturbed copy of the elite.
+	d := mon(20, 11, cfg)
+	if d.SetConfig == nil || stat.Adoptions != 1 {
+		t.Fatalf("lagging cost did not adopt: %+v (adoptions %d)", d, stat.Adoptions)
+	}
+	if !perm.IsPermutation(d.SetConfig) {
+		t.Fatalf("adopted config is not a permutation: %v", d.SetConfig)
+	}
+	// The teleport hands out a perturbed *copy*; the board's elite must
+	// be untouched by the perturbation.
+	_, cur, _ := b.snapshot()
+	for i, v := range elite {
+		if cur[i] != v {
+			t.Fatalf("adoption perturbed the board's elite: %v", cur)
+		}
+	}
+}

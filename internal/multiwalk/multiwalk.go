@@ -80,8 +80,19 @@ type Options struct {
 	// is set.
 	Portfolio []PortfolioEntry
 
+	// Shard, when non-nil, restricts the run to the global walkers
+	// [Shard.Start, Shard.Start+Walkers) of a Shard.Total-walker job.
+	// Seeds and portfolio entries are derived from the *global* walker
+	// index, so executing the shards of one job in separate processes
+	// and merging their stats with CombineShards is bit-for-bit
+	// identical to a single-process run with Walkers = Shard.Total and
+	// no Shard (see internal/dist). nil runs the whole job locally.
+	Shard *Shard
+
 	// Exchange enables the dependent multi-walk scheme. The zero value
 	// keeps walks fully independent, as in the paper's experiments.
+	// Exchange requires a single address space (the board is in-process
+	// shared memory) and is therefore rejected for sharded runs.
 	Exchange ExchangeOptions
 
 	// Progress, when non-nil, is invoked from each walker every
@@ -110,6 +121,18 @@ type PortfolioEntry struct {
 	// Monitor chained by the multi-walk driver, as with
 	// Options.Engine).
 	Engine core.Options
+}
+
+// Shard identifies a contiguous slice of the walkers of a larger
+// logical job. Walker identity — the seed stream, the portfolio entry,
+// the WalkerStat.Walker index — is always derived from the global
+// index Start+i, never from the shard-local position, which is what
+// makes distributed execution reproduce the single-process run.
+type Shard struct {
+	// Start is the global index of the shard's first walker.
+	Start int
+	// Total is the whole job's walker count (across all shards).
+	Total int
 }
 
 // ExchangeOptions tunes the dependent multiple-walk communication
@@ -159,7 +182,9 @@ type WalkerStat struct {
 type Result struct {
 	// Solved reports whether any walker found a solution.
 	Solved bool
-	// Winner is the index of the winning walker, or -1.
+	// Winner is the global index of the winning walker, or -1. For a
+	// whole-job run (no Shard) it doubles as the index into Walkers;
+	// for a shard result it is Walkers[i].Walker of the winning entry.
 	Winner int
 	// Solution is the winning configuration (nil if unsolved).
 	Solution []int
@@ -170,7 +195,10 @@ type Result struct {
 	// TotalIterations sums iterations across all walkers (the parallel
 	// work, as opposed to the parallel time).
 	TotalIterations int64
-	// Walkers holds per-walker statistics, indexed by walker.
+	// Walkers holds per-walker statistics in walker order. For a
+	// whole-job run the slice index equals WalkerStat.Walker; a shard
+	// result covers only its sub-range, with the global identity in
+	// the Walker field.
 	Walkers []WalkerStat
 	// Completed counts walkers whose engines actually ran (possibly
 	// interrupted mid-run). Run starts every walker, so there it always
@@ -189,29 +217,61 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// total returns the whole job's walker count: Shard.Total for a
+// sharded run, Walkers otherwise.
+func (o *Options) total() int {
+	if o.Shard != nil {
+		return o.Shard.Total
+	}
+	return o.Walkers
+}
+
+// start returns the global index of the first walker this run executes.
+func (o *Options) start() int {
+	if o.Shard != nil {
+		return o.Shard.Start
+	}
+	return 0
+}
+
 // validate normalizes and checks options against a probe instance.
 func (o *Options) validate() error {
 	if o.Walkers < 1 {
 		return fmt.Errorf("multiwalk: Walkers must be >= 1, got %d", o.Walkers)
 	}
+	if o.Shard != nil {
+		// Start > Total-Walkers is the overflow-safe spelling of
+		// Start+Walkers > Total (Walkers >= 1 and Total >= 1 are
+		// checked first, so the subtraction cannot wrap).
+		if o.Shard.Start < 0 || o.Shard.Total < 1 || o.Shard.Start > o.Shard.Total-o.Walkers {
+			return fmt.Errorf("multiwalk: shard start=%d walkers=%d outside job of %d walkers", o.Shard.Start, o.Walkers, o.Shard.Total)
+		}
+		if o.Exchange.Enabled {
+			return errors.New("multiwalk: Exchange requires a single address space; it is not supported for sharded runs")
+		}
+	}
+	total := o.total()
 	prefix := 0
 	for i := range o.Portfolio {
 		if o.Portfolio[i].Weight < 0 {
 			return fmt.Errorf("multiwalk: Portfolio[%d].Weight must be >= 0, got %d", i, o.Portfolio[i].Weight)
 		}
-		// An entry is assigned at least one walker iff some walker
-		// index lands in its pattern slots, i.e. the weight prefix
-		// before it is below Walkers; reject unreachable entries rather
-		// than silently degenerating the requested mix.
-		if prefix >= o.Walkers {
-			return fmt.Errorf("multiwalk: Portfolio[%d] is unreachable: the %d weight slots before it already cover all %d walkers", i, prefix, o.Walkers)
+		// An entry is assigned at least one walker iff some global
+		// walker index lands in its pattern slots, i.e. the weight
+		// prefix before it is below the whole job's walker count;
+		// reject unreachable entries rather than silently degenerating
+		// the requested mix. A shard validates against the global
+		// count: an entry may well be unreachable from this shard's
+		// sub-range while other shards cover it.
+		if prefix >= total {
+			return fmt.Errorf("multiwalk: Portfolio[%d] is unreachable: the %d weight slots before it already cover all %d walkers", i, prefix, total)
 		}
 		prefix += weightOf(o.Portfolio[i])
-		if prefix > o.Walkers {
+		if prefix > total {
 			// Only "covers all walkers" matters from here on; clamping
 			// also guards the sum against integer overflow from huge
 			// weights.
-			prefix = o.Walkers
+			prefix = total
 		}
 	}
 	if o.Exchange.Enabled {
@@ -249,8 +309,8 @@ func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
 		return Result{}, errors.New("multiwalk: nil factory")
 	}
 
-	seeds := walkerSeeds(opts.Seed, opts.Walkers)
-	pattern := portfolioPattern(opts.Portfolio, opts.Walkers)
+	seeds := walkerSeeds(opts.Seed, opts.total())
+	pattern := portfolioPattern(opts.Portfolio, opts.total())
 	var board *exchangeBoard
 	if opts.Exchange.Enabled {
 		board = newExchangeBoard()
@@ -267,8 +327,9 @@ func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			eo, entry := opts.engineFor(pattern, w)
-			stat, err := runWalker(runCtx, factory, eo, opts.Exchange, w, entry, seeds[w], board, opts.Progress)
+			g := opts.start() + w // global walker identity
+			eo, entry := opts.engineFor(pattern, g)
+			stat, err := runWalker(runCtx, factory, eo, opts.Exchange, g, entry, seeds[g], board, opts.Progress)
 			stats[w] = stat
 			errs[w] = err
 			if err != nil || stat.Result.Solved {
@@ -320,24 +381,25 @@ func RunVirtual(ctx context.Context, factory Factory, opts Options) (Result, err
 		return Result{}, errors.New("multiwalk: nil factory")
 	}
 
-	seeds := walkerSeeds(opts.Seed, opts.Walkers)
-	pattern := portfolioPattern(opts.Portfolio, opts.Walkers)
+	seeds := walkerSeeds(opts.Seed, opts.total())
+	pattern := portfolioPattern(opts.Portfolio, opts.total())
 	start := time.Now()
 	stats := make([]WalkerStat, opts.Walkers)
 	completed := 0
 	truncated := false
 	for w := 0; w < opts.Walkers; w++ {
-		eo, entry := opts.engineFor(pattern, w)
+		g := opts.start() + w // global walker identity
+		eo, entry := opts.engineFor(pattern, g)
 		if ctx.Err() != nil {
 			// The sweep was cancelled before this walker's turn: keep
 			// its identity (index, portfolio entry) intact and mark the
 			// empty result Interrupted so callers can tell "never ran"
 			// from "ran and failed".
-			stats[w] = WalkerStat{Walker: w, Entry: entry, Result: core.Result{Interrupted: true, Cost: math.MaxInt}}
+			stats[w] = WalkerStat{Walker: g, Entry: entry, Result: core.Result{Interrupted: true, Cost: math.MaxInt}}
 			truncated = true
 			continue
 		}
-		stat, err := runWalker(ctx, factory, eo, opts.Exchange, w, entry, seeds[w], nil, opts.Progress)
+		stat, err := runWalker(ctx, factory, eo, opts.Exchange, g, entry, seeds[g], nil, opts.Progress)
 		if err != nil {
 			return Result{}, err
 		}
@@ -397,6 +459,20 @@ func portfolioPattern(entries []PortfolioEntry, walkers int) []int {
 		}
 	}
 	return pattern
+}
+
+// EntryFor returns the portfolio entry index assigned to global walker
+// w of a total-walker job, or -1 for a homogeneous run. This is the
+// single assignment rule — weighted round-robin over the expanded
+// pattern — exposed so external executors (internal/dist) can label
+// walkers they could not run (a lost worker's shard) with the same
+// identity the run would have given them.
+func EntryFor(portfolio []PortfolioEntry, total, w int) int {
+	pattern := portfolioPattern(portfolio, total)
+	if len(pattern) == 0 {
+		return -1
+	}
+	return pattern[w%len(pattern)]
 }
 
 // engineFor resolves the engine options and portfolio entry index of
@@ -473,7 +549,8 @@ func chainMonitors(monitors []func(int64, int, []int) core.Directive) func(int64
 }
 
 // aggregate folds per-walker stats into a Result using the given winner
-// rule.
+// rule. Winner carries the *global* walker identity (stats[w].Walker),
+// which coincides with the slice index for whole-job runs.
 func aggregate(stats []WalkerStat, winner func([]WalkerStat) int) Result {
 	res := Result{Winner: -1, Walkers: stats}
 	for _, s := range stats {
@@ -481,11 +558,59 @@ func aggregate(stats []WalkerStat, winner func([]WalkerStat) int) Result {
 	}
 	if w := winner(stats); w >= 0 {
 		res.Solved = true
-		res.Winner = w
+		res.Winner = stats[w].Walker
 		res.Solution = stats[w].Result.Solution
 		res.WinnerIterations = stats[w].Result.Iterations
 	}
 	return res
+}
+
+// CombineShards merges the shard results of one logical total-walker
+// job into the whole-job Result, exactly as if the job had run
+// unsharded: Walkers is reassembled in global order, the winner is
+// recomputed by the virtual rule (fewest iterations among solved
+// walkers, lowest global index on ties), Completed sums the shards and
+// Truncated is sticky. Every global walker index in [0, total) must be
+// covered exactly once — a lost shard must be represented explicitly
+// (its walkers marked Interrupted, the shard marked Truncated) rather
+// than omitted, so a coordinator can never fabricate a complete run
+// out of partial data.
+func CombineShards(total int, shards ...Result) (Result, error) {
+	if total < 1 {
+		return Result{}, fmt.Errorf("multiwalk: CombineShards total must be >= 1, got %d", total)
+	}
+	global := make([]WalkerStat, total)
+	seen := make([]bool, total)
+	completed := 0
+	truncated := false
+	var elapsed time.Duration
+	for _, sh := range shards {
+		for _, ws := range sh.Walkers {
+			if ws.Walker < 0 || ws.Walker >= total {
+				return Result{}, fmt.Errorf("multiwalk: CombineShards: walker index %d outside job of %d walkers", ws.Walker, total)
+			}
+			if seen[ws.Walker] {
+				return Result{}, fmt.Errorf("multiwalk: CombineShards: walker %d reported by two shards", ws.Walker)
+			}
+			seen[ws.Walker] = true
+			global[ws.Walker] = ws
+		}
+		completed += sh.Completed
+		truncated = truncated || sh.Truncated
+		if sh.Elapsed > elapsed {
+			elapsed = sh.Elapsed
+		}
+	}
+	for w, ok := range seen {
+		if !ok {
+			return Result{}, fmt.Errorf("multiwalk: CombineShards: walker %d missing from every shard", w)
+		}
+	}
+	res := aggregate(global, virtualWinner)
+	res.Completed = completed
+	res.Truncated = truncated
+	res.Elapsed = elapsed
+	return res, nil
 }
 
 // wallClockWinner picks the solved walker (post-cancellation there is

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/core"
@@ -26,9 +27,9 @@ import (
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
-		var body solveBody
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeError(w, fmt.Errorf("%w: invalid JSON: %v", ErrBadRequest, err))
+		body, err := decodeSolveBody(r.Body)
+		if err != nil {
+			writeError(w, err)
 			return
 		}
 		if body.Wait {
@@ -119,6 +120,22 @@ type solveBody struct {
 	// Wait makes the call synchronous: the response is the terminal
 	// job, not the queued acknowledgement.
 	Wait bool `json:"wait,omitempty"`
+}
+
+// maxSolveBodyLen caps the solve payload; a request that large is
+// garbage long before the scheduler's own validation would say so.
+const maxSolveBodyLen = 8 << 20
+
+// decodeSolveBody parses one POST /v1/solve payload. Every decode
+// failure wraps ErrBadRequest (the fuzz suite pins this), so transport
+// mistakes and admission rejections surface through the same typed
+// error the HTTP layer maps to 400.
+func decodeSolveBody(r io.Reader) (solveBody, error) {
+	var body solveBody
+	if err := json.NewDecoder(io.LimitReader(r, maxSolveBodyLen)).Decode(&body); err != nil {
+		return solveBody{}, fmt.Errorf("%w: invalid JSON: %v", ErrBadRequest, err)
+	}
+	return body, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

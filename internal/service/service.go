@@ -29,7 +29,14 @@ type Config struct {
 	// Slots is the walker-slot pool size — the number of engine
 	// goroutines allowed to run concurrently across all jobs. 0 selects
 	// runtime.GOMAXPROCS(0), the paper's one-walker-per-core model.
+	// When Backend is set, Slots is ignored: the pool is sized to
+	// Backend.Slots().
 	Slots int
+
+	// Backend executes admitted jobs. nil selects the in-process local
+	// pool. Passing a backend (e.g. a dist.Coordinator over a worker
+	// fleet) transfers its ownership to the scheduler: Close closes it.
+	Backend Backend
 	// QueueDepth bounds the FIFO admission queue; submissions beyond it
 	// are rejected with ErrQueueFull. 0 selects 256.
 	QueueDepth int
@@ -44,9 +51,15 @@ type Config struct {
 }
 
 func (c *Config) normalize() {
-	if c.Slots <= 0 {
-		c.Slots = runtime.GOMAXPROCS(0)
+	if c.Backend == nil {
+		if c.Slots <= 0 {
+			c.Slots = runtime.GOMAXPROCS(0)
+		}
+		c.Backend = &localBackend{slots: c.Slots}
 	}
+	// The backend is the single source of truth for capacity; admission
+	// control, request validation and /healthz all read cfg.Slots.
+	c.Slots = c.Backend.Slots()
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
@@ -333,6 +346,8 @@ func (s *Scheduler) Close() {
 	s.cancel()
 	s.cond.Broadcast()
 	s.wg.Wait()
+	// Every job has drained; the backend (owned since New) goes last.
+	s.cfg.Backend.Close()
 }
 
 // Closed reports whether Close has been called.
@@ -418,7 +433,7 @@ func (s *Scheduler) runJob(j *job) {
 	s.decQueued()
 	s.mRunning.Add(1)
 
-	res, err := multiwalk.Run(runCtx, multiwalk.Factory(j.factory), j.opts)
+	res, err := s.cfg.Backend.RunJob(runCtx, j.req.Problem, j.req.Size, j.factory, j.opts)
 	switch {
 	case err != nil:
 		s.finalize(j, StateFailed, nil, err)
@@ -554,19 +569,20 @@ func (s *Scheduler) progressFor(j *job) func(int, int64, int) {
 
 // Stats is the point-in-time metrics snapshot served by /metrics.
 type Stats struct {
-	Slots         int   `json:"slots"`
-	SlotsBusy     int   `json:"slots_busy"`
-	QueueDepth    int   `json:"queue_depth"`
-	QueueCapacity int   `json:"queue_capacity"`
-	JobsQueued    int64 `json:"jobs_queued"`
-	JobsRunning   int64 `json:"jobs_running"`
-	JobsSubmitted int64 `json:"jobs_submitted"`
-	JobsRejected  int64 `json:"jobs_rejected"`
-	JobsSolved    int64 `json:"jobs_solved"`
-	JobsUnsolved  int64 `json:"jobs_unsolved"`
-	JobsCancelled int64 `json:"jobs_cancelled"`
-	JobsFailed    int64 `json:"jobs_failed"`
-	JobsStored    int   `json:"jobs_stored"`
+	Backend       string `json:"backend"`
+	Slots         int    `json:"slots"`
+	SlotsBusy     int    `json:"slots_busy"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	JobsQueued    int64  `json:"jobs_queued"`
+	JobsRunning   int64  `json:"jobs_running"`
+	JobsSubmitted int64  `json:"jobs_submitted"`
+	JobsRejected  int64  `json:"jobs_rejected"`
+	JobsSolved    int64  `json:"jobs_solved"`
+	JobsUnsolved  int64  `json:"jobs_unsolved"`
+	JobsCancelled int64  `json:"jobs_cancelled"`
+	JobsFailed    int64  `json:"jobs_failed"`
+	JobsStored    int    `json:"jobs_stored"`
 	// Iterations is the cumulative engine iteration count across every
 	// walker of every job. IterationsPerSec is the lifetime average
 	// (Iterations over uptime), not a live window — an idle server's
@@ -586,6 +602,7 @@ func (s *Scheduler) Stats() Stats {
 	up := time.Since(s.start)
 	iters := s.mIterations.Load()
 	st := Stats{
+		Backend:       s.cfg.Backend.Name(),
 		Slots:         s.cfg.Slots,
 		SlotsBusy:     busy,
 		QueueDepth:    depth,
