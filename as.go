@@ -18,6 +18,17 @@ import (
 // encodings implement.
 type Problem = core.Problem
 
+// MoveEvaluator is the optional batched companion of CostIfSwap:
+// problems implementing it serve a whole swap-cost row in one call and
+// the engine's move selection skips per-candidate interface dispatch.
+type MoveEvaluator = core.MoveEvaluator
+
+// MaintainedErrorVector is the optional delta-maintenance fast path:
+// problems implementing it keep their per-variable error vector current
+// through ExecutedSwap/Cost, and the engine serves worst-variable
+// selection from the live vector without invalidation or copying.
+type MaintainedErrorVector = core.MaintainedErrorVector
+
 // Options configures one Adaptive Search engine run.
 type Options = core.Options
 

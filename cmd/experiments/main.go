@@ -39,6 +39,13 @@ func run() error {
 		seed     = flag.Uint64("seed", 2012, "master seed")
 		outDir   = flag.String("out", "", "directory for .txt/.csv artifacts (optional)")
 		timeout  = flag.Duration("timeout", 4*time.Hour, "overall deadline")
+
+		benchJSON      = flag.String("bench-json", "", "measure per-benchmark iteration rates and write them to this JSON file (skips the experiment suite)")
+		benchIters     = flag.Int64("bench-iters", 300_000, "minimum engine iterations timed per benchmark in -bench-json mode")
+		benchCompare   = flag.String("bench-compare", "", "baseline BENCH_iter_rate.json to compare the fresh -bench-json measurement against; regressions beyond -bench-threshold fail the run")
+		benchThreshold = flag.Float64("bench-threshold", 0.25, "allowed fractional iteration-rate drop vs the -bench-compare baseline")
+		benchRelative  = flag.Bool("bench-relative", false, "normalize the -bench-compare ratios by their suite-wide median, cancelling machine-speed differences (for CI gating against a baseline measured elsewhere)")
+		benchMarkdown  = flag.Bool("bench-md", false, "also print the -bench-json results as the README's markdown table")
 	)
 	flag.Parse()
 
@@ -48,6 +55,10 @@ func run() error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if *benchJSON != "" {
+		return runBenchJSON(ctx, *benchJSON, *seed, *benchIters, *benchCompare, *benchThreshold, *benchRelative, *benchMarkdown)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
@@ -186,6 +197,59 @@ func run() error {
 			csv.Close()
 		}
 		fmt.Printf("artifacts written to %s\n", *outDir)
+	}
+	return nil
+}
+
+// runBenchJSON is the -bench-json mode: measure the sequential hot-loop
+// iteration rate of every benchmark, write the JSON report, and
+// optionally gate against a committed baseline (the CI bench-smoke job).
+func runBenchJSON(ctx context.Context, outPath string, seed uint64, minIters int64, comparePath string, threshold float64, relative, markdown bool) error {
+	fmt.Printf("measuring iteration rates (>= %d iterations per benchmark)...\n", minIters)
+	report, err := bench.CollectIterRates(ctx, seed, minIters)
+	if err != nil {
+		return err
+	}
+	if err := report.RenderTable(os.Stdout); err != nil {
+		return err
+	}
+	if markdown {
+		fmt.Println()
+		if err := report.RenderMarkdown(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if err := report.WriteJSON(outPath); err != nil {
+		return err
+	}
+	fmt.Printf("iteration-rate report written to %s\n", outPath)
+	if comparePath != "" {
+		baseline, err := bench.ReadIterRateReport(comparePath)
+		if err != nil {
+			return err
+		}
+		var regressions []string
+		if relative {
+			var median float64
+			regressions, median = bench.CompareIterRatesRelative(report, baseline, threshold)
+			fmt.Printf("machine-speed factor vs %s baseline: %.2fx\n", comparePath, median)
+			if median < 1-threshold {
+				// A uniform suite-wide slowdown cancels out of the
+				// relative gate by construction; surface it loudly so a
+				// real engine-wide regression is not mistaken for a
+				// slow runner.
+				fmt.Fprintf(os.Stderr, "WARNING: whole suite runs at %.2fx of baseline — slower machine or uniform engine regression\n", median)
+			}
+		} else {
+			regressions = bench.CompareIterRates(report, baseline, threshold)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			return fmt.Errorf("%d iteration-rate regression(s) vs %s", len(regressions), comparePath)
+		}
+		fmt.Printf("within %.0f%% of the %s baseline\n", threshold*100, comparePath)
 	}
 	return nil
 }

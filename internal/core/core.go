@@ -48,6 +48,25 @@ type Problem interface {
 	CostIfSwap(cfg []int, cost, i, j int) int
 }
 
+// MoveEvaluator is the batched companion of CostIfSwap: problems that
+// can evaluate every swap partner of one variable in a single pass
+// implement it, and the engine's move selection fills a whole cost row
+// through one devirtualized call instead of issuing n-1 interface-
+// dispatched CostIfSwap calls per iteration. Implementations typically
+// hoist the removal of variable i's own contributions out of the
+// partner loop, which a per-call CostIfSwap must redo for every j.
+//
+// Contract:
+//   - CostsIfSwapAll fills out[j], for every j != i, with exactly the
+//     value CostIfSwap(cfg, cost, i, j) would return, and out[i] with
+//     cost (the stay-put cost). len(out) == len(cfg).
+//   - Like CostIfSwap it must not change observable state: cfg and all
+//     incremental caches are bit-identical afterwards. Search traces
+//     must not depend on which path served the costs.
+type MoveEvaluator interface {
+	CostsIfSwapAll(cfg []int, cost, i int, out []int)
+}
+
 // SwapExecutor is implemented by problems that maintain incremental
 // state. ExecutedSwap is invoked after the engine has swapped cfg[i] and
 // cfg[j] so the problem can update cached structures in O(1)/O(n) rather
@@ -76,6 +95,39 @@ type SwapExecutor interface {
 //     engine does not call Cost or ExecutedSwap around a custom reset.
 type ErrorVector interface {
 	ErrorsOnVariables(cfg []int, out []int)
+}
+
+// MaintainedErrorVector is the delta-maintenance tier above ErrorVector:
+// the problem keeps its error vector current at all times — ExecutedSwap
+// updates only the entries a swap touches, and Cost (plus Reset, for
+// ResetHandler implementers) rebuilds or revalidates it — so the engine
+// skips the blanket invalidation after every swap and serves worst-
+// variable selection straight from the live vector, with no per-
+// iteration refetch or copy.
+//
+// Contract:
+//   - LiveErrors returns a vector v with v[i] == CostOnVariable(cfg, i)
+//     for every i, valid for the configuration the engine last
+//     established through Cost / ExecutedSwap / Reset. Implementations
+//     may revalidate lazily inside LiveErrors (e.g. after a full Cost
+//     recompute), but a swap applied through ExecutedSwap must never
+//     leave a stale entry behind.
+//   - The returned slice is owned by the problem; callers treat it as
+//     read-only and must not retain it across mutations.
+//
+// Problems that cannot maintain deltas simply do not implement this
+// interface and fall back to the invalidate-and-refetch ErrorVector
+// path (or, without ErrorVector, to per-variable CostOnVariable calls).
+//
+// SwapExecutor is embedded because delta maintenance is only possible
+// when the problem sees every executed swap: without ExecutedSwap the
+// engine would skip invalidation (that is the point of this interface)
+// while nothing updated the vector, silently serving stale errors. The
+// embedding makes that dependency structural instead of a convention.
+type MaintainedErrorVector interface {
+	ErrorVector
+	SwapExecutor
+	LiveErrors(cfg []int) []int
 }
 
 // ResetHandler is implemented by problems that want a custom partial

@@ -83,8 +83,19 @@ type engine struct {
 
 	res Result
 
+	// checkLeft counts down to the next cancellation/Monitor check. It
+	// replaces an int64 modulo on the cumulative iteration counter in
+	// the hot loop and is deliberately NOT reset on restarts or
+	// teleports: checks fire at exactly the cumulative iteration counts
+	// the old Iterations%CheckEvery == 0 test selected, so Monitor call
+	// points (and with them the golden traces) do not move.
+	checkLeft int64
+
 	bestCost int   // best global cost seen across all runs
 	bestCfg  []int // configuration achieving bestCost
+
+	resetIdx  []int // scratch for the generic partial reset
+	resetVals []int
 }
 
 func (e *engine) solve() Result {
@@ -116,7 +127,9 @@ func (e *engine) solve() Result {
 	e.st.Rand = e.rand
 	e.st.Opts = &e.opts
 	e.st.Marks = make([]int64, n)
+	e.st.Cfg = make([]int, n) // reused across all runs
 	e.st.bindProblem(e.p, n)
+	e.checkLeft = int64(e.opts.CheckEvery)
 
 	runs := 0
 	for {
@@ -160,19 +173,22 @@ func (e *engine) noteBest(cost int, cfg []int) {
 // zero-cost configuration was reached and interrupted=true when the
 // context was cancelled mid-run.
 func (e *engine) runOnce(first bool) (solved, interrupted bool) {
-	n := e.p.Size()
 	o := &e.opts
 
 	if first && o.InitialConfig != nil {
-		e.st.Cfg = perm.Copy(o.InitialConfig)
+		copy(e.st.Cfg, o.InitialConfig)
 	} else {
-		e.st.Cfg = e.rand.Perm(n)
+		// Fresh random permutation into the reused buffer; identity-
+		// fill followed by Shuffle consumes the RNG exactly as
+		// rand.Perm does, so traces are unchanged.
+		for i := range e.st.Cfg {
+			e.st.Cfg[i] = i
+		}
+		e.rand.Shuffle(e.st.Cfg)
 	}
 	e.st.Cost = e.p.Cost(e.st.Cfg)
 	e.st.InvalidateErrors()
-	for i := range e.st.Marks {
-		e.st.Marks[i] = 0
-	}
+	clear(e.st.Marks)
 	e.st.Iter = 0
 	e.strat.Restart.NewRun(&e.st)
 	e.noteBest(e.st.Cost, e.st.Cfg)
@@ -181,7 +197,9 @@ func (e *engine) runOnce(first bool) (solved, interrupted bool) {
 	for e.st.Cost > 0 && e.st.Iter < o.MaxIterations {
 		e.st.Iter++
 		e.res.Iterations++
-		if e.res.Iterations%checkEvery == 0 {
+		e.checkLeft--
+		if e.checkLeft == 0 {
+			e.checkLeft = checkEvery
 			if e.cancelled() {
 				return false, true
 			}
@@ -229,9 +247,7 @@ func (e *engine) runOnce(first bool) (solved, interrupted bool) {
 		}
 		if reset {
 			e.partialReset()
-			for i := range e.st.Marks {
-				e.st.Marks[i] = 0
-			}
+			clear(e.st.Marks)
 		}
 	}
 	if e.st.Cost == 0 {
@@ -274,9 +290,7 @@ func (e *engine) adoptConfig(cfg []int) bool {
 	copy(e.st.Cfg, cfg)
 	e.st.Cost = e.p.Cost(e.st.Cfg)
 	e.st.InvalidateErrors()
-	for i := range e.st.Marks {
-		e.st.Marks[i] = 0
-	}
+	clear(e.st.Marks)
 	e.noteBest(e.st.Cost, e.st.Cfg)
 	return true
 }
@@ -289,11 +303,16 @@ func (e *engine) partialReset() {
 	if e.resetter != nil {
 		e.st.Cost = e.resetter.Reset(e.st.Cfg, e.rand)
 	} else {
-		k := int(e.opts.ResetFraction * float64(len(e.st.Cfg)))
+		n := len(e.st.Cfg)
+		k := int(e.opts.ResetFraction * float64(n))
 		if k < 2 {
 			k = 2
 		}
-		perm.PartialShuffle(e.st.Cfg, k, e.rand)
+		if e.resetIdx == nil {
+			e.resetIdx = make([]int, n)
+			e.resetVals = make([]int, n)
+		}
+		perm.PartialShuffleScratch(e.st.Cfg, k, e.rand, e.resetIdx, e.resetVals)
 		e.st.Cost = e.p.Cost(e.st.Cfg)
 	}
 	e.st.InvalidateErrors()

@@ -70,11 +70,36 @@ func (AdaptiveVariable) SelectVariable(s *State) int {
 // immediately.
 type MinConflictMove struct{}
 
-// SelectMove implements MoveSelector.
+// SelectMove implements MoveSelector. When the problem implements
+// MoveEvaluator the whole cost row is filled in one batched call and
+// scanned here; the scan order, acceptance rules and tie-break RNG
+// consumption are identical on both paths, so the fast path never
+// changes a trace. FirstBest keeps the per-call path: its whole point
+// is to stop evaluating at the first improving candidate, which an
+// eager row fill would defeat.
 func (MinConflictMove) SelectMove(s *State, i int) (j, cost int) {
 	bestJ := i
 	bestCost := s.Cost
 	ties := 1
+	if costs := s.SwapCosts(i); costs != nil && !s.Opts.FirstBest {
+		for cand, c := range costs {
+			if cand == i {
+				continue
+			}
+			switch {
+			case c < bestCost:
+				bestCost = c
+				bestJ = cand
+				ties = 1
+			case c == bestCost:
+				ties++
+				if s.Rand.Intn(ties) == 0 {
+					bestJ = cand
+				}
+			}
+		}
+		return bestJ, bestCost
+	}
 	for cand := range s.Cfg {
 		if cand == i {
 			continue
@@ -195,8 +220,16 @@ type MetropolisMove struct {
 	Tries int
 }
 
-// SelectMove implements MoveSelector.
+// SelectMove implements MoveSelector. Degenerate sizes (n < 2) have no
+// swap partner to sample: the selector reports a local minimum instead
+// of panicking in Rand.Intn(0). The engine never drives such sizes
+// (Solve short-circuits them), but MoveSelector is a public plug point,
+// so the guard belongs here.
 func (m *MetropolisMove) SelectMove(s *State, i int) (j, cost int) {
+	n := len(s.Cfg)
+	if n < 2 {
+		return i, s.Cost
+	}
 	temp := m.Temperature
 	if temp <= 0 {
 		temp = 0.5
@@ -205,7 +238,6 @@ func (m *MetropolisMove) SelectMove(s *State, i int) (j, cost int) {
 	if tries <= 0 {
 		tries = 8
 	}
-	n := len(s.Cfg)
 	bestJ, bestCost := i, math.MaxInt
 	for t := 0; t < tries; t++ {
 		cand := s.Rand.Intn(n - 1)
@@ -231,15 +263,31 @@ func (m *MetropolisMove) SelectMove(s *State, i int) (j, cost int) {
 // in the tie pool exactly as in MinConflictMove; i == j on return
 // signals a strict local minimum. Tabu marks are ignored. Exhaustive
 // mode replaces the strategy's variable/move selectors wholesale, since
-// a pair scan has no separate variable-selection step.
+// a pair scan has no separate variable-selection step. Problems
+// implementing MoveEvaluator serve rows of the pair matrix through one
+// batched call while the upper-triangle remainder of the row is the
+// majority of it; the short tail rows, where a full-row bulk fill would
+// mostly compute already-scanned pairs, fall back to per-call
+// CostIfSwap — as does FirstBest mode, whose early exit an eager row
+// fill would defeat. Values, scan order and tie-break RNG consumption
+// are identical on every path.
 func (e *engine) selectBestPair() (i, j, cost int) {
 	n := len(e.st.Cfg)
 	bestI, bestJ := 0, 0
 	bestCost := e.st.Cost
 	ties := 1
 	for a := 0; a < n; a++ {
+		var costs []int
+		if !e.opts.FirstBest && 2*(n-1-a) >= n-1 {
+			costs = e.st.SwapCosts(a)
+		}
 		for b := a + 1; b < n; b++ {
-			c := e.p.CostIfSwap(e.st.Cfg, e.st.Cost, a, b)
+			var c int
+			if costs != nil {
+				c = costs[b]
+			} else {
+				c = e.p.CostIfSwap(e.st.Cfg, e.st.Cost, a, b)
+			}
 			switch {
 			case c < bestCost:
 				bestCost = c

@@ -48,8 +48,11 @@ type State struct {
 	Marks []int64
 
 	errv     ErrorVector
+	errLive  MaintainedErrorVector
 	errBuf   []int
 	errDirty bool
+	moveEval MoveEvaluator
+	moveBuf  []int
 }
 
 // Frozen reports whether variable i is tabu at the current iteration.
@@ -71,6 +74,9 @@ func (s *State) CostIfSwap(i, j int) int {
 // marks it stale (InvalidateErrors) — iterations that did not move pay
 // nothing at all.
 func (s *State) Errors() []int {
+	if s.errLive != nil {
+		return s.errLive.LiveErrors(s.Cfg)
+	}
 	if s.errv == nil {
 		return nil
 	}
@@ -81,21 +87,51 @@ func (s *State) Errors() []int {
 	return s.errBuf
 }
 
+// SwapCosts returns the full cost row for variable i — entry j holds
+// the global cost a swap of positions i and j would produce, entry i
+// the current cost — or nil when the problem does not implement
+// MoveEvaluator. The returned slice is a buffer reused across calls;
+// callers must consume it before the next SwapCosts call and must not
+// retain it. Move selectors use this as the batched fast path: one
+// devirtualized pass instead of n-1 interface-dispatched CostIfSwap
+// calls, with bit-identical values.
+func (s *State) SwapCosts(i int) []int {
+	if s.moveEval == nil {
+		return nil
+	}
+	s.moveEval.CostsIfSwapAll(s.Cfg, s.Cost, i, s.moveBuf)
+	return s.moveBuf
+}
+
 // InvalidateErrors marks the buffered error vector stale, forcing the
 // next Errors call to refetch it from the problem. The engine calls it
 // after every configuration change (swap, partial reset, teleport, run
 // start); external drivers built on NewState must call it after
-// mutating Cfg or the problem's incremental state themselves.
-func (s *State) InvalidateErrors() { s.errDirty = true }
+// mutating Cfg or the problem's incremental state themselves. For
+// problems on the MaintainedErrorVector fast path this is a no-op: the
+// problem keeps its live vector current through ExecutedSwap/Cost, so
+// there is nothing to invalidate.
+func (s *State) InvalidateErrors() {
+	if s.errLive == nil {
+		s.errDirty = true
+	}
+}
 
 // bindProblem wires the optional fast-path interfaces of p into the
 // state.
 func (s *State) bindProblem(p Problem, n int) {
 	s.Problem = p
-	if ev, ok := p.(ErrorVector); ok {
+	if lv, ok := p.(MaintainedErrorVector); ok {
+		s.errLive = lv
+		s.errv = lv
+	} else if ev, ok := p.(ErrorVector); ok {
 		s.errv = ev
 		s.errBuf = make([]int, n)
 		s.errDirty = true
+	}
+	if me, ok := p.(MoveEvaluator); ok {
+		s.moveEval = me
+		s.moveBuf = make([]int, n)
 	}
 }
 

@@ -234,3 +234,58 @@ func TestStrategyOverridesExhaustive(t *testing.T) {
 		}
 	}
 }
+
+// TestMetropolisDegenerateSize: MoveSelector is a public plug point, so
+// MetropolisMove must tolerate sizes the engine itself short-circuits.
+// Before the guard, n == 1 panicked via Rand.Intn(0) when sampling a
+// swap partner.
+func TestMetropolisDegenerateSize(t *testing.T) {
+	m := &MetropolisMove{}
+	s := NewState(sortProblem{1}, Options{}, 7, nil)
+	if j, cost := m.SelectMove(s, 0); j != 0 || cost != s.Cost {
+		t.Fatalf("SelectMove on size 1 = (%d, %d), want the stay-put (0, %d)", j, cost, s.Cost)
+	}
+	// Size 2 has exactly one partner and must still sample normally.
+	s2 := NewState(sortProblem{2}, Options{}, 7, []int{1, 0})
+	if j, _ := m.SelectMove(s2, 0); j != 1 {
+		t.Fatalf("SelectMove on size 2 picked %d, want partner 1", j)
+	}
+}
+
+// TestSwapCostsMatchesPerCall: the State.SwapCosts helper must agree
+// with per-call CostIfSwap on problems implementing MoveEvaluator and
+// report nil on problems that do not.
+func TestSwapCostsMatchesPerCall(t *testing.T) {
+	if costs := NewState(sortProblem{6}, Options{}, 3, nil).SwapCosts(2); costs != nil {
+		t.Fatalf("SwapCosts on a plain Problem = %v, want nil", costs)
+	}
+	p := bulkSortProblem{sortProblem{9}}
+	s := NewState(p, Options{}, 3, nil)
+	costs := s.SwapCosts(4)
+	if costs == nil {
+		t.Fatal("SwapCosts on a MoveEvaluator problem returned nil")
+	}
+	for j := range costs {
+		want := s.Cost
+		if j != 4 {
+			want = p.CostIfSwap(s.Cfg, s.Cost, 4, j)
+		}
+		if costs[j] != want {
+			t.Fatalf("SwapCosts[%d] = %d, want %d", j, costs[j], want)
+		}
+	}
+}
+
+// bulkSortProblem adds a MoveEvaluator view to sortProblem by looping
+// over per-call CostIfSwap — the reference semantics of the interface.
+type bulkSortProblem struct{ sortProblem }
+
+func (b bulkSortProblem) CostsIfSwapAll(cfg []int, cost, i int, out []int) {
+	for j := range cfg {
+		if j == i {
+			out[i] = cost
+			continue
+		}
+		out[j] = b.CostIfSwap(cfg, cost, i, j)
+	}
+}

@@ -73,6 +73,15 @@ func Copy(p []int) []int {
 // partial reset. k is clamped to [0, len(p)]. With k < 2 it is a no-op.
 func PartialShuffle(p []int, k int, r *rng.Rand) {
 	n := len(p)
+	PartialShuffleScratch(p, k, r, make([]int, n), make([]int, n))
+}
+
+// PartialShuffleScratch is PartialShuffle with caller-provided scratch,
+// for hot paths that reset repeatedly and must not allocate: idx and
+// vals must each have length >= len(p) and are overwritten. The RNG
+// consumption is identical to PartialShuffle's.
+func PartialShuffleScratch(p []int, k int, r *rng.Rand, idx, vals []int) {
+	n := len(p)
 	if k > n {
 		k = n
 	}
@@ -81,7 +90,7 @@ func PartialShuffle(p []int, k int, r *rng.Rand) {
 	}
 	// Choose k distinct positions by a partial Fisher-Yates over an index
 	// slice, then cyclically shuffle the values at those positions.
-	idx := make([]int, n)
+	idx = idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -91,7 +100,7 @@ func PartialShuffle(p []int, k int, r *rng.Rand) {
 	}
 	chosen := idx[:k]
 	// Shuffle values at the chosen positions among themselves.
-	vals := make([]int, k)
+	vals = vals[:k]
 	for i, pos := range chosen {
 		vals[i] = p[pos]
 	}

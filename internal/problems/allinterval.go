@@ -30,14 +30,17 @@ type AllInterval struct {
 	n   int
 	occ []int // occ[d] = number of adjacent pairs with difference d
 
-	// errVec caches the per-variable projected errors (the ErrorVector
-	// fast path). A swap can change the duplicated-ness of edges away
-	// from the swapped positions (when an occurrence count crosses the
-	// >1 threshold), so ExecutedSwap/Cost invalidate the cache and it
-	// is rebuilt lazily in one pass over the n-1 edges — no per-variable
-	// interface calls, and frozen (no-move) iterations reuse it as is.
-	errVec   []int
-	errValid bool
+	// errVec[i] = number of variable i's adjacent differences that are
+	// duplicated — always current (MaintainedErrorVector). A swap can
+	// flip the duplicated-ness of edges away from the swapped positions
+	// (when a difference's occurrence count crosses the 1<->2
+	// threshold), so intrusive membership lists track which edges
+	// realize each difference: head[d] chains the edges with difference
+	// d through next/prev (indexed by edge, -1 terminates), and the
+	// edge that flips is found in O(1) instead of an O(n) edge rescan.
+	errVec     []int
+	head       []int32
+	next, prev []int32
 }
 
 // NewAllInterval returns an instance with n variables; n must be >= 2.
@@ -45,13 +48,81 @@ func NewAllInterval(n int) (*AllInterval, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("all-interval: size must be >= 2, got %d", n)
 	}
-	return &AllInterval{n: n, occ: make([]int, n), errVec: make([]int, n)}, nil
+	return &AllInterval{
+		n:      n,
+		occ:    make([]int, n),
+		errVec: make([]int, n),
+		head:   make([]int32, n),
+		next:   make([]int32, n),
+		prev:   make([]int32, n),
+	}, nil
 }
 
 var (
-	_ core.SwapExecutor = (*AllInterval)(nil)
-	_ core.ErrorVector  = (*AllInterval)(nil)
+	_ core.SwapExecutor          = (*AllInterval)(nil)
+	_ core.MaintainedErrorVector = (*AllInterval)(nil)
+	_ core.MoveEvaluator         = (*AllInterval)(nil)
 )
+
+// link pushes edge e onto difference d's membership list.
+func (a *AllInterval) link(d, e int) {
+	h := a.head[d]
+	a.next[e] = h
+	a.prev[e] = -1
+	if h >= 0 {
+		a.prev[h] = int32(e)
+	}
+	a.head[d] = int32(e)
+}
+
+// unlink removes edge e from difference d's membership list.
+func (a *AllInterval) unlink(d, e int) {
+	p, nx := a.prev[e], a.next[e]
+	if p >= 0 {
+		a.next[p] = nx
+	} else {
+		a.head[d] = nx
+	}
+	if nx >= 0 {
+		a.prev[nx] = p
+	}
+}
+
+// addEdge registers edge e (the adjacent pair (e, e+1)) under
+// difference d, maintaining the occurrence count, the membership list
+// and the error vector.
+func (a *AllInterval) addEdge(d, e int) {
+	cnt := a.occ[d]
+	if cnt >= 1 {
+		a.errVec[e]++
+		a.errVec[e+1]++
+		if cnt == 1 {
+			// The difference's previously unique edge becomes duplicated.
+			m := a.head[d]
+			a.errVec[m]++
+			a.errVec[m+1]++
+		}
+	}
+	a.occ[d] = cnt + 1
+	a.link(d, e)
+}
+
+// removeEdge is addEdge's inverse.
+func (a *AllInterval) removeEdge(d, e int) {
+	cnt := a.occ[d]
+	if cnt >= 2 {
+		a.errVec[e]--
+		a.errVec[e+1]--
+	}
+	a.unlink(d, e)
+	if cnt == 2 {
+		// The remaining edge with this difference becomes unique again.
+		m := a.head[d]
+		a.errVec[m]--
+		a.errVec[m+1]--
+	}
+	a.occ[d] = cnt - 1
+}
 
 // Name implements core.Namer.
 func (a *AllInterval) Name() string { return "all-interval" }
@@ -59,13 +130,16 @@ func (a *AllInterval) Name() string { return "all-interval" }
 // Size implements core.Problem.
 func (a *AllInterval) Size() int { return a.n }
 
-// Cost implements core.Problem, rebuilding the occurrence table.
+// Cost implements core.Problem, rebuilding the occurrence table, the
+// membership lists and the error vector.
 func (a *AllInterval) Cost(cfg []int) int {
 	for d := range a.occ {
 		a.occ[d] = 0
+		a.head[d] = -1
+		a.errVec[d] = 0
 	}
-	for i := 0; i+1 < len(cfg); i++ {
-		a.occ[abs(cfg[i+1]-cfg[i])]++
+	for e := 0; e+1 < len(cfg); e++ {
+		a.addEdge(abs(cfg[e+1]-cfg[e]), e)
 	}
 	cost := 0
 	for d := 1; d < a.n; d++ {
@@ -73,7 +147,6 @@ func (a *AllInterval) Cost(cfg []int) int {
 			cost += d
 		}
 	}
-	a.errValid = false
 	return cost
 }
 
@@ -159,39 +232,43 @@ func (a *AllInterval) CostIfSwap(cfg []int, cost, i, j int) int {
 }
 
 // ExecutedSwap implements core.SwapExecutor: cfg is already swapped;
-// replay the edge updates permanently. The pre-swap configuration is
-// recovered by swapping back temporarily.
+// the affected edges migrate between difference lists through
+// removeEdge/addEdge, which keep the error vector exact as a side
+// effect. The pre-swap configuration is recovered by swapping back
+// temporarily.
 func (a *AllInterval) ExecutedSwap(cfg []int, i, j int) {
 	var edges [4]int
 	ne := a.edgesOf(i, j, &edges)
 	cfg[i], cfg[j] = cfg[j], cfg[i] // back to pre-swap
 	for k := 0; k < ne; k++ {
 		e := edges[k]
-		a.occ[abs(cfg[e+1]-cfg[e])]--
+		a.removeEdge(abs(cfg[e+1]-cfg[e]), e)
 	}
 	cfg[i], cfg[j] = cfg[j], cfg[i] // forward again
 	for k := 0; k < ne; k++ {
 		e := edges[k]
-		a.occ[abs(cfg[e+1]-cfg[e])]++
+		a.addEdge(abs(cfg[e+1]-cfg[e]), e)
 	}
-	a.errValid = false
 }
 
-// ErrorsOnVariables implements core.ErrorVector, rebuilding the cached
-// vector lazily in one pass over the adjacent-difference edges.
-func (a *AllInterval) ErrorsOnVariables(cfg []int, out []int) {
-	if !a.errValid {
-		for i := range a.errVec {
-			a.errVec[i] = 0
+// CostsIfSwapAll implements core.MoveEvaluator: one devirtualized pass
+// over the partners (each candidate is O(1) through the edge deltas).
+func (a *AllInterval) CostsIfSwapAll(cfg []int, cost, i int, out []int) {
+	for j := range cfg {
+		if j == i {
+			out[i] = cost
+			continue
 		}
-		for e := 0; e+1 < a.n; e++ {
-			if a.occ[abs(cfg[e+1]-cfg[e])] > 1 {
-				a.errVec[e]++
-				a.errVec[e+1]++
-			}
-		}
-		a.errValid = true
+		out[j] = a.CostIfSwap(cfg, cost, i, j)
 	}
+}
+
+// LiveErrors implements core.MaintainedErrorVector: the vector is kept
+// exact by Cost/ExecutedSwap, so there is nothing to rebuild.
+func (a *AllInterval) LiveErrors(cfg []int) []int { return a.errVec }
+
+// ErrorsOnVariables implements core.ErrorVector.
+func (a *AllInterval) ErrorsOnVariables(cfg []int, out []int) {
 	copy(out, a.errVec)
 }
 

@@ -29,20 +29,29 @@ func init() {
 // a swap touches the O(n) pairs involving the two swapped columns.
 // This mirrors the error function of the Diaz et al. Costas study the
 // paper cites as [4].
+//
+// The per-column error vector (number of duplicated displacement
+// vectors involving a column) is delta-maintained: intrusive membership
+// lists record which pairs occupy each (distance, difference) cell, so
+// when a pair moves between cells only the columns whose duplicated-
+// ness actually changed are touched — including the one *other* pair
+// that flips between unique and duplicated when a cell's occupancy
+// crosses the 1<->2 threshold, which the lists locate in O(1) instead
+// of a half-matrix rescan.
 type Costas struct {
 	n   int
 	occ [][]int16 // occ[d-1][diff+n-1] for d in 1..n-1
 
-	// errVec caches the per-column projected errors (the ErrorVector
-	// fast path). A swap can flip the duplicated-ness of pairs that do
-	// not involve the swapped columns (whenever an occurrence count
-	// crosses the >1 threshold), so the cache is invalidated by
-	// ExecutedSwap/Cost and rebuilt lazily in one half-matrix pass —
-	// visiting each pair once instead of twice as the per-variable
-	// CostOnVariable scan does, and serving frozen (no-move) iterations
-	// for free.
-	errVec   []int
-	errValid bool
+	// errVec[i] = number of duplicated displacement vectors involving
+	// column i. Always current (MaintainedErrorVector): Cost rebuilds
+	// it and ExecutedSwap maintains it through addPair/removePair.
+	errVec []int
+	// Membership lists: a pair is identified by (dIdx, lo) with
+	// hi = lo + dIdx + 1. head[dIdx][v] chains the lo indices of the
+	// pairs currently occupying cell (dIdx, v); next/prev are indexed
+	// by dIdx*n + lo. -1 terminates.
+	head       [][]int32
+	next, prev []int32
 }
 
 // NewCostas returns a Costas instance of order n; n must be >= 1.
@@ -53,15 +62,25 @@ func NewCostas(n int) (*Costas, error) {
 		return nil, fmt.Errorf("costas: order must be >= 1, got %d", n)
 	}
 	occ := make([][]int16, n-1)
+	head := make([][]int32, n-1)
 	for d := range occ {
 		occ[d] = make([]int16, 2*n-1)
+		head[d] = make([]int32, 2*n-1)
 	}
-	return &Costas{n: n, occ: occ, errVec: make([]int, n)}, nil
+	return &Costas{
+		n:      n,
+		occ:    occ,
+		errVec: make([]int, n),
+		head:   head,
+		next:   make([]int32, (n-1)*n),
+		prev:   make([]int32, (n-1)*n),
+	}, nil
 }
 
 var (
-	_ core.SwapExecutor = (*Costas)(nil)
-	_ core.ErrorVector  = (*Costas)(nil)
+	_ core.SwapExecutor          = (*Costas)(nil)
+	_ core.MaintainedErrorVector = (*Costas)(nil)
+	_ core.MoveEvaluator         = (*Costas)(nil)
 )
 
 // Name implements core.Namer.
@@ -70,27 +89,96 @@ func (c *Costas) Name() string { return "costas" }
 // Size implements core.Problem.
 func (c *Costas) Size() int { return c.n }
 
-// Cost implements core.Problem, rebuilding the difference table.
+// link pushes pair (dIdx, lo) onto cell (dIdx, v)'s membership list.
+func (c *Costas) link(dIdx, v, lo int) {
+	base := dIdx * c.n
+	h := c.head[dIdx][v]
+	c.next[base+lo] = h
+	c.prev[base+lo] = -1
+	if h >= 0 {
+		c.prev[base+int(h)] = int32(lo)
+	}
+	c.head[dIdx][v] = int32(lo)
+}
+
+// unlink removes pair (dIdx, lo) from cell (dIdx, v)'s membership list.
+func (c *Costas) unlink(dIdx, v, lo int) {
+	base := dIdx * c.n
+	p, nx := c.prev[base+lo], c.next[base+lo]
+	if p >= 0 {
+		c.next[base+int(p)] = nx
+	} else {
+		c.head[dIdx][v] = nx
+	}
+	if nx >= 0 {
+		c.prev[base+int(nx)] = p
+	}
+}
+
+// addPair registers pair (lo, hi) in cell (dIdx, v), maintaining the
+// occurrence count, the membership list and the error vector. It
+// returns 1 when the pair lands in an occupied cell (one new surplus
+// difference, the pair's cost contribution), 0 otherwise.
+func (c *Costas) addPair(dIdx, v, lo, hi int) int {
+	cnt := int(c.occ[dIdx][v])
+	dup := 0
+	if cnt >= 1 {
+		c.errVec[lo]++
+		c.errVec[hi]++
+		dup = 1
+		if cnt == 1 {
+			// The cell's previously unique pair becomes duplicated.
+			m := int(c.head[dIdx][v])
+			c.errVec[m]++
+			c.errVec[m+dIdx+1]++
+		}
+	}
+	c.occ[dIdx][v] = int16(cnt + 1)
+	c.link(dIdx, v, lo)
+	return dup
+}
+
+// removePair is addPair's inverse.
+func (c *Costas) removePair(dIdx, v, lo, hi int) {
+	cnt := int(c.occ[dIdx][v])
+	if cnt >= 2 {
+		c.errVec[lo]--
+		c.errVec[hi]--
+	}
+	c.unlink(dIdx, v, lo)
+	if cnt == 2 {
+		// The remaining pair in the cell becomes unique again.
+		m := int(c.head[dIdx][v])
+		c.errVec[m]--
+		c.errVec[m+dIdx+1]--
+	}
+	c.occ[dIdx][v] = int16(cnt - 1)
+}
+
+// Cost implements core.Problem, rebuilding the difference table, the
+// membership lists and the error vector.
 func (c *Costas) Cost(cfg []int) int {
 	for d := range c.occ {
 		row := c.occ[d]
 		for v := range row {
 			row[v] = 0
 		}
+		hr := c.head[d]
+		for v := range hr {
+			hr[v] = -1
+		}
+	}
+	for i := range c.errVec {
+		c.errVec[i] = 0
 	}
 	cost := 0
 	n := c.n
 	for lo := 0; lo < n; lo++ {
 		for hi := lo + 1; hi < n; hi++ {
-			d := hi - lo - 1
-			v := cfg[hi] - cfg[lo] + n - 1
-			if c.occ[d][v] > 0 {
-				cost++
-			}
-			c.occ[d][v]++
+			dIdx := hi - lo - 1
+			cost += c.addPair(dIdx, cfg[hi]-cfg[lo]+n-1, lo, hi)
 		}
 	}
-	c.errValid = false
 	return cost
 }
 
@@ -114,29 +202,54 @@ func (c *Costas) CostOnVariable(cfg []int, i int) int {
 	return e
 }
 
-// forEachAffectedPair visits every column pair involving i or j exactly
-// once as (lo, hi) with lo < hi.
-func (c *Costas) forEachAffectedPair(i, j int, f func(lo, hi int)) {
-	for q := 0; q < c.n; q++ {
-		if q == i {
+// dropPairs removes every pair involving column x (optionally skipping
+// column skip) from the occurrence table only — lists and error vector
+// untouched — returning the cost decrease. It is the building block of
+// the hypothetical-swap evaluators, which must not disturb the
+// delta-maintained structures; the caller restores the table with
+// raisePairs before returning.
+func (c *Costas) dropPairs(cfg []int, x, skip int) int {
+	n := c.n
+	dec := 0
+	for q := 0; q < n; q++ {
+		if q == x || q == skip {
 			continue
 		}
-		if q < i {
-			f(q, i)
-		} else {
-			f(i, q)
+		lo, hi := x, q
+		if lo > hi {
+			lo, hi = hi, lo
 		}
+		dIdx := hi - lo - 1
+		v := cfg[hi] - cfg[lo] + n - 1
+		if c.occ[dIdx][v] > 1 {
+			dec++
+		}
+		c.occ[dIdx][v]--
 	}
-	for q := 0; q < c.n; q++ {
-		if q == j || q == i {
+	return dec
+}
+
+// raisePairs re-adds every pair involving column x (optionally skipping
+// column skip) to the occurrence table, returning the cost increase.
+func (c *Costas) raisePairs(cfg []int, x, skip int) int {
+	n := c.n
+	inc := 0
+	for q := 0; q < n; q++ {
+		if q == x || q == skip {
 			continue
 		}
-		if q < j {
-			f(q, j)
-		} else {
-			f(j, q)
+		lo, hi := x, q
+		if lo > hi {
+			lo, hi = hi, lo
 		}
+		dIdx := hi - lo - 1
+		v := cfg[hi] - cfg[lo] + n - 1
+		if c.occ[dIdx][v] > 0 {
+			inc++
+		}
+		c.occ[dIdx][v]++
 	}
+	return inc
 }
 
 // CostIfSwap implements core.Problem by a remove/re-add pass over the
@@ -144,74 +257,108 @@ func (c *Costas) forEachAffectedPair(i, j int, f func(lo, hi int)) {
 // single-goroutine (see package comment), so the transient mutation of
 // the cached table is invisible to callers.
 func (c *Costas) CostIfSwap(cfg []int, cost, i, j int) int {
-	n := c.n
-	// Remove the affected pairs' current differences.
-	c.forEachAffectedPair(i, j, func(lo, hi int) {
-		d, v := hi-lo-1, cfg[hi]-cfg[lo]+n-1
-		if c.occ[d][v] > 1 {
-			cost--
-		}
-		c.occ[d][v]--
-	})
+	cost -= c.dropPairs(cfg, i, -1)
+	cost -= c.dropPairs(cfg, j, i)
 	cfg[i], cfg[j] = cfg[j], cfg[i]
-	// Add the post-swap differences.
-	c.forEachAffectedPair(i, j, func(lo, hi int) {
-		d, v := hi-lo-1, cfg[hi]-cfg[lo]+n-1
-		if c.occ[d][v] > 0 {
-			cost++
-		}
-		c.occ[d][v]++
-	})
+	cost += c.raisePairs(cfg, i, -1)
+	cost += c.raisePairs(cfg, j, i)
 	newCost := cost
 	// Roll everything back.
-	c.forEachAffectedPair(i, j, func(lo, hi int) {
-		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+n-1]--
-	})
+	c.dropPairs(cfg, i, -1)
+	c.dropPairs(cfg, j, i)
 	cfg[i], cfg[j] = cfg[j], cfg[i]
-	c.forEachAffectedPair(i, j, func(lo, hi int) {
-		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+n-1]++
-	})
+	c.raisePairs(cfg, i, -1)
+	c.raisePairs(cfg, j, i)
 	return newCost
 }
 
-// ExecutedSwap implements core.SwapExecutor: cfg arrives already
-// swapped; rebuild the table entries of the affected pairs.
-func (c *Costas) ExecutedSwap(cfg []int, i, j int) {
-	// Undo to the pre-swap view to remove the old differences.
-	cfg[i], cfg[j] = cfg[j], cfg[i]
-	c.forEachAffectedPair(i, j, func(lo, hi int) {
-		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+c.n-1]--
-	})
-	cfg[i], cfg[j] = cfg[j], cfg[i]
-	c.forEachAffectedPair(i, j, func(lo, hi int) {
-		c.occ[hi-lo-1][cfg[hi]-cfg[lo]+c.n-1]++
-	})
-	c.errValid = false
+// CostsIfSwapAll implements core.MoveEvaluator. Column i's pairs are
+// removed from the occurrence table once, outside the partner loop;
+// each candidate j then pays only its own remove/re-add/rollback
+// passes, roughly halving the table traffic of n-1 independent
+// CostIfSwap calls on top of the devirtualization.
+func (c *Costas) CostsIfSwapAll(cfg []int, cost, i int, out []int) {
+	base := cost - c.dropPairs(cfg, i, -1)
+	vi := cfg[i]
+	for j := range cfg {
+		if j == i {
+			out[i] = cost
+			continue
+		}
+		cst := base
+		vj := cfg[j]
+		cst -= c.dropPairs(cfg, j, i)
+		cfg[i], cfg[j] = vj, vi
+		cst += c.raisePairs(cfg, i, -1)
+		cst += c.raisePairs(cfg, j, i)
+		out[j] = cst
+		// Roll back to the "column i removed" state.
+		c.dropPairs(cfg, i, -1)
+		c.dropPairs(cfg, j, i)
+		cfg[i], cfg[j] = vi, vj
+		c.raisePairs(cfg, j, i)
+	}
+	c.raisePairs(cfg, i, -1)
 }
 
-// ErrorsOnVariables implements core.ErrorVector. The vector is rebuilt
-// lazily after an invalidating swap by one pass over the pair
-// half-matrix; iterations that froze a variable instead of moving reuse
-// the cached vector unchanged.
-func (c *Costas) ErrorsOnVariables(cfg []int, out []int) {
-	if !c.errValid {
-		n := c.n
-		for i := range c.errVec {
-			c.errVec[i] = 0
+// ExecutedSwap implements core.SwapExecutor: cfg arrives already
+// swapped; the affected pairs migrate between cells through
+// removePair/addPair, which keep the error vector exact as a side
+// effect.
+func (c *Costas) ExecutedSwap(cfg []int, i, j int) {
+	n := c.n
+	// Undo to the pre-swap view to remove the old pairs.
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	for q := 0; q < n; q++ {
+		if q == i {
+			continue
 		}
-		// Walk distance by distance so each occurrence row is hoisted
-		// out of the inner loop.
-		for d1 := range c.occ {
-			row := c.occ[d1]
-			for lo, hi := 0, d1+1; hi < n; lo, hi = lo+1, hi+1 {
-				if row[cfg[hi]-cfg[lo]+n-1] > 1 {
-					c.errVec[lo]++
-					c.errVec[hi]++
-				}
-			}
+		lo, hi := i, q
+		if lo > hi {
+			lo, hi = hi, lo
 		}
-		c.errValid = true
+		c.removePair(hi-lo-1, cfg[hi]-cfg[lo]+n-1, lo, hi)
 	}
+	for q := 0; q < n; q++ {
+		if q == i || q == j {
+			continue
+		}
+		lo, hi := j, q
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c.removePair(hi-lo-1, cfg[hi]-cfg[lo]+n-1, lo, hi)
+	}
+	cfg[i], cfg[j] = cfg[j], cfg[i]
+	for q := 0; q < n; q++ {
+		if q == i {
+			continue
+		}
+		lo, hi := i, q
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c.addPair(hi-lo-1, cfg[hi]-cfg[lo]+n-1, lo, hi)
+	}
+	for q := 0; q < n; q++ {
+		if q == i || q == j {
+			continue
+		}
+		lo, hi := j, q
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c.addPair(hi-lo-1, cfg[hi]-cfg[lo]+n-1, lo, hi)
+	}
+}
+
+// LiveErrors implements core.MaintainedErrorVector: the vector is kept
+// exact by Cost/ExecutedSwap, so frozen (no-move) iterations and moved
+// iterations alike serve it with zero work.
+func (c *Costas) LiveErrors(cfg []int) []int { return c.errVec }
+
+// ErrorsOnVariables implements core.ErrorVector.
+func (c *Costas) ErrorsOnVariables(cfg []int, out []int) {
 	copy(out, c.errVec)
 }
 

@@ -5,29 +5,139 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/csp"
 	"repro/internal/rng"
 )
 
-// errVecProblem is the intersection the ErrorVector consistency tests
-// exercise: the full engine contract plus the batched error fast path.
+// errVecProblem is the intersection the hot-path consistency tests
+// exercise: the full engine contract plus the delta-maintained error
+// vector and the batched move evaluator.
 type errVecProblem interface {
 	core.Problem
 	core.SwapExecutor
-	core.ErrorVector
+	core.MaintainedErrorVector
+	core.MoveEvaluator
 }
 
-// checkErrVecAgainstScan verifies the ErrorVector contract at the
-// current configuration: ErrorsOnVariables must report exactly what a
-// per-variable CostOnVariable scan reports.
+// hotPathBuilders constructs one instance of every incremental encoding
+// — all eight registered benchmarks plus a mixed linear/custom csp
+// model — for the equivalence suites.
+func hotPathBuilders(t *testing.T) map[string]func() errVecProblem {
+	t.Helper()
+	return map[string]func() errVecProblem{
+		"magic-square":   func() errVecProblem { p, _ := NewMagicSquare(5); return p },
+		"costas":         func() errVecProblem { p, _ := NewCostas(9); return p },
+		"all-interval":   func() errVecProblem { p, _ := NewAllInterval(12); return p },
+		"queens":         func() errVecProblem { p, _ := NewQueens(11); return p },
+		"langford":       func() errVecProblem { p, _ := NewLangford(8); return p },
+		"partition":      func() errVecProblem { p, _ := NewPartition(16); return p },
+		"perfect-square": func() errVecProblem { p, _ := NewPerfectSquare(7); return p },
+		"alpha":          func() errVecProblem { p, _ := NewAlpha(); return p },
+		"csp-mixed": func() errVecProblem {
+			// A model mixing weighted linear sums (with a repeated
+			// variable) and a custom constraint, covering the compiler's
+			// cached-sum fast path and its fn fallback side by side.
+			m := csp.NewModel(8, 1)
+			m.AddLinearSum("lin", []int{0, 1, 2, 1}, nil, 12)
+			m.AddLinearSum("coef", []int{2, 3, 4}, []int{2, -1, 3}, 9)
+			m.AddWeighted("spread", []int{5, 6, 7}, 2, func(vals []int) int {
+				d := vals[0] - vals[2]
+				if d < 0 {
+					d = -d
+				}
+				if d > 3 {
+					return d - 3
+				}
+				return 0
+			})
+			p, err := m.Compile()
+			if err != nil {
+				t.Fatalf("csp-mixed: %v", err)
+			}
+			return p
+		},
+	}
+}
+
+// checkErrVecAgainstScan verifies the error-vector contract at the
+// current configuration: both ErrorsOnVariables and LiveErrors must
+// report exactly what a per-variable CostOnVariable scan reports.
 func checkErrVecAgainstScan(t *testing.T, p errVecProblem, cfg []int, step string) {
 	t.Helper()
 	n := p.Size()
 	out := make([]int, n)
 	p.ErrorsOnVariables(cfg, out)
+	live := p.LiveErrors(cfg)
 	for i := 0; i < n; i++ {
-		if want := p.CostOnVariable(cfg, i); out[i] != want {
+		want := p.CostOnVariable(cfg, i)
+		if out[i] != want {
 			t.Fatalf("%s: ErrorsOnVariables[%d] = %d, CostOnVariable = %d (cfg %v)",
 				step, i, out[i], want, cfg)
+		}
+		if live[i] != want {
+			t.Fatalf("%s: LiveErrors[%d] = %d, CostOnVariable = %d (cfg %v)",
+				step, i, live[i], want, cfg)
+		}
+	}
+}
+
+// checkBulkAgainstPerCall verifies the MoveEvaluator contract at the
+// current configuration: CostsIfSwapAll must report exactly what n-1
+// individual CostIfSwap calls report (and the stay-put entry the
+// current cost), for every variable, without disturbing state — the
+// per-call reference is evaluated after the bulk fill so corruption
+// would surface as a mismatch on a later variable or in the caller's
+// next delta check.
+func checkBulkAgainstPerCall(t *testing.T, p errVecProblem, cfg []int, cost int, step string) {
+	t.Helper()
+	n := p.Size()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		p.CostsIfSwapAll(cfg, cost, i, out)
+		if out[i] != cost {
+			t.Fatalf("%s: CostsIfSwapAll(%d) stay-put entry = %d, want current cost %d", step, i, out[i], cost)
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if want := p.CostIfSwap(cfg, cost, i, j); out[j] != want {
+				t.Fatalf("%s: CostsIfSwapAll(%d)[%d] = %d, CostIfSwap = %d (cfg %v)",
+					step, i, j, out[j], want, cfg)
+			}
+		}
+	}
+}
+
+// driveHotPath walks a problem through the engine's exact mutation
+// pattern — Cost at run start, random swaps through ExecutedSwap,
+// repeated queries, periodic full rebuilds — invoking check at every
+// step.
+func driveHotPath(t *testing.T, p errVecProblem, steps int, check func(cfg []int, cost int, step string)) {
+	t.Helper()
+	n := p.Size()
+	r := rng.New(2012)
+	cfg := r.Perm(n)
+	cost := p.Cost(cfg)
+	check(cfg, cost, "initial")
+	for step := 0; step < steps; step++ {
+		i := r.Intn(n)
+		j := r.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		cost = p.CostIfSwap(cfg, cost, i, j)
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+		p.ExecutedSwap(cfg, i, j)
+		check(cfg, cost, "after swap")
+		// Interleave repeated queries (a frozen iteration) and
+		// periodic full rebuilds (a partial reset).
+		check(cfg, cost, "repeat query")
+		if step%37 == 0 {
+			if rebuilt := p.Cost(cfg); rebuilt != cost {
+				t.Fatalf("step %d: incremental cost %d != rebuilt cost %d", step, cost, rebuilt)
+			}
+			check(cfg, cost, "after Cost rebuild")
 		}
 	}
 }
@@ -35,38 +145,31 @@ func checkErrVecAgainstScan(t *testing.T, p errVecProblem, cfg []int, step strin
 // TestErrorVectorConsistency drives each incremental encoding through a
 // random walk of swaps (mirroring the engine's Cost / ExecutedSwap
 // call pattern, including occasional full Cost rebuilds) and checks the
-// batched error vector against the per-variable scan at every step.
+// delta-maintained error vector against the per-variable scan at every
+// step.
 func TestErrorVectorConsistency(t *testing.T) {
-	builders := map[string]func() errVecProblem{
-		"magic-square": func() errVecProblem { p, _ := NewMagicSquare(5); return p },
-		"costas":       func() errVecProblem { p, _ := NewCostas(9); return p },
-		"all-interval": func() errVecProblem { p, _ := NewAllInterval(12); return p },
-	}
-	for name, build := range builders {
+	for name, build := range hotPathBuilders(t) {
 		t.Run(name, func(t *testing.T) {
 			p := build()
-			n := p.Size()
-			r := rng.New(2012)
-			cfg := r.Perm(n)
-			p.Cost(cfg)
-			checkErrVecAgainstScan(t, p, cfg, "initial")
-			for step := 0; step < 200; step++ {
-				i := r.Intn(n)
-				j := r.Intn(n - 1)
-				if j >= i {
-					j++
-				}
-				cfg[i], cfg[j] = cfg[j], cfg[i]
-				p.ExecutedSwap(cfg, i, j)
-				checkErrVecAgainstScan(t, p, cfg, "after swap")
-				// Interleave repeated queries (a frozen iteration) and
-				// periodic full rebuilds (a partial reset).
-				checkErrVecAgainstScan(t, p, cfg, "repeat query")
-				if step%37 == 0 {
-					p.Cost(cfg)
-					checkErrVecAgainstScan(t, p, cfg, "after Cost rebuild")
-				}
-			}
+			driveHotPath(t, p, 200, func(cfg []int, cost int, step string) {
+				checkErrVecAgainstScan(t, p, cfg, step)
+			})
+		})
+	}
+}
+
+// TestMoveEvaluatorConsistency drives the same walk and checks the
+// batched CostsIfSwapAll row against per-call CostIfSwap for every
+// variable at every step, so the bulk fast path can never drift from
+// the reference — and, via the incremental-vs-rebuilt cost assertion in
+// the driver, that neither evaluator corrupts cached state.
+func TestMoveEvaluatorConsistency(t *testing.T) {
+	for name, build := range hotPathBuilders(t) {
+		t.Run(name, func(t *testing.T) {
+			p := build()
+			driveHotPath(t, p, 60, func(cfg []int, cost int, step string) {
+				checkBulkAgainstPerCall(t, p, cfg, cost, step)
+			})
 		})
 	}
 }
@@ -82,6 +185,10 @@ func TestErrorVectorSolveTraceUnchanged(t *testing.T) {
 		{"magic-square", 5},
 		{"costas", 10},
 		{"all-interval", 14},
+		{"queens", 10},
+		{"langford", 8},
+		{"partition", 16},
+		{"perfect-square", 7},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

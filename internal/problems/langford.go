@@ -29,7 +29,18 @@ type Langford struct {
 	n    int   // number of values; 2n items
 	dev  []int // dev[k] = | |p1-p2| - (k+2) | cached per value
 	cost int   // cached total (kept consistent by Cost/ExecutedSwap)
+
+	// errVec[2k] = errVec[2k+1] = dev[k]: the per-item projection of
+	// the value deviations, delta-maintained by ExecutedSwap (a swap
+	// touches at most two values, so at most four entries).
+	errVec []int
 }
+
+var (
+	_ core.SwapExecutor          = (*Langford)(nil)
+	_ core.MaintainedErrorVector = (*Langford)(nil)
+	_ core.MoveEvaluator         = (*Langford)(nil)
+)
 
 // NewLangford returns an L(2,n) instance. Solutions exist only for
 // n ≡ 0 or 3 (mod 4); other n are rejected so searches cannot run
@@ -41,7 +52,7 @@ func NewLangford(n int) (*Langford, error) {
 	if m := n % 4; m != 0 && m != 3 {
 		return nil, fmt.Errorf("langford: L(2,%d) has no solutions (n must be 0 or 3 mod 4)", n)
 	}
-	return &Langford{n: n, dev: make([]int, n)}, nil
+	return &Langford{n: n, dev: make([]int, n), errVec: make([]int, 2*n)}, nil
 }
 
 // Name implements core.Namer.
@@ -62,12 +73,16 @@ func (l *Langford) deviation(cfg []int, k int) int {
 	return abs(d - (k + 2))
 }
 
-// Cost implements core.Problem, rebuilding the per-value deviations.
+// Cost implements core.Problem, rebuilding the per-value deviations and
+// the error vector.
 func (l *Langford) Cost(cfg []int) int {
 	total := 0
 	for k := 0; k < l.n; k++ {
-		l.dev[k] = l.deviation(cfg, k)
-		total += l.dev[k]
+		d := l.deviation(cfg, k)
+		l.dev[k] = d
+		l.errVec[2*k] = d
+		l.errVec[2*k+1] = d
+		total += d
 	}
 	l.cost = total
 	return total
@@ -92,17 +107,57 @@ func (l *Langford) CostIfSwap(cfg []int, cost, i, j int) int {
 	return cost
 }
 
-// ExecutedSwap implements core.SwapExecutor.
+// ExecutedSwap implements core.SwapExecutor: only the (at most two)
+// values owning the swapped items change, so only their deviations and
+// error-vector entries are refreshed.
 func (l *Langford) ExecutedSwap(cfg []int, i, j int) {
 	ki, kj := i/2, j/2
-	l.cost += -l.dev[ki] + 0
-	l.dev[ki] = l.deviation(cfg, ki)
-	l.cost += l.dev[ki]
+	l.cost -= l.dev[ki]
+	d := l.deviation(cfg, ki)
+	l.dev[ki] = d
+	l.errVec[2*ki] = d
+	l.errVec[2*ki+1] = d
+	l.cost += d
 	if kj != ki {
 		l.cost -= l.dev[kj]
-		l.dev[kj] = l.deviation(cfg, kj)
-		l.cost += l.dev[kj]
+		d = l.deviation(cfg, kj)
+		l.dev[kj] = d
+		l.errVec[2*kj] = d
+		l.errVec[2*kj+1] = d
+		l.cost += d
 	}
+}
+
+// CostsIfSwapAll implements core.MoveEvaluator. Item i's value and
+// current deviation are hoisted; each candidate costs two deviation
+// recomputes at most.
+func (l *Langford) CostsIfSwapAll(cfg []int, cost, i int, out []int) {
+	ki := i / 2
+	devKi := l.dev[ki]
+	pi := cfg[i]
+	for j, pj := range cfg {
+		if j == i {
+			out[i] = cost
+			continue
+		}
+		kj := j / 2
+		cfg[i], cfg[j] = pj, pi
+		c := cost + l.deviation(cfg, ki) - devKi
+		if kj != ki {
+			c += l.deviation(cfg, kj) - l.dev[kj]
+		}
+		cfg[i], cfg[j] = pi, pj
+		out[j] = c
+	}
+}
+
+// LiveErrors implements core.MaintainedErrorVector: the vector is kept
+// current by Cost and ExecutedSwap.
+func (l *Langford) LiveErrors(cfg []int) []int { return l.errVec }
+
+// ErrorsOnVariables implements core.ErrorVector.
+func (l *Langford) ErrorsOnVariables(cfg []int, out []int) {
+	copy(out, l.errVec)
 }
 
 // Tune implements core.Tuner (settings in the spirit of the C

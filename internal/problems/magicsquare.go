@@ -57,8 +57,9 @@ func NewMagicSquare(n int) (*MagicSquare, error) {
 }
 
 var (
-	_ core.SwapExecutor = (*MagicSquare)(nil)
-	_ core.ErrorVector  = (*MagicSquare)(nil)
+	_ core.SwapExecutor          = (*MagicSquare)(nil)
+	_ core.MaintainedErrorVector = (*MagicSquare)(nil)
+	_ core.MoveEvaluator         = (*MagicSquare)(nil)
 )
 
 // Name implements core.Namer.
@@ -255,19 +256,78 @@ func (ms *MagicSquare) refreshCellError(k int) {
 	ms.errVec[k] = e
 }
 
-// ErrorsOnVariables implements core.ErrorVector: the batched fast path
-// for worst-variable selection. ExecutedSwap keeps the vector current
-// by refreshing only the cells on changed lines; after a full Cost
-// recompute (run start, partial reset, teleport) the vector is rebuilt
-// here once.
-func (ms *MagicSquare) ErrorsOnVariables(cfg []int, out []int) {
+// LiveErrors implements core.MaintainedErrorVector: ExecutedSwap keeps
+// the vector current by refreshing only the cells on changed lines;
+// after a full Cost recompute (run start, partial reset, teleport) the
+// vector is rebuilt here once, lazily.
+func (ms *MagicSquare) LiveErrors(cfg []int) []int {
 	if !ms.errValid {
 		for k := range ms.errVec {
 			ms.refreshCellError(k)
 		}
 		ms.errValid = true
 	}
-	copy(out, ms.errVec)
+	return ms.errVec
+}
+
+// ErrorsOnVariables implements core.ErrorVector.
+func (ms *MagicSquare) ErrorsOnVariables(cfg []int, out []int) {
+	copy(out, ms.LiveErrors(cfg))
+}
+
+// CostsIfSwapAll implements core.MoveEvaluator. Cell i's lines are
+// resolved once outside the partner loop; each candidate then costs a
+// handful of additions and branches, with shared-line cancellation
+// handled explicitly instead of through the lineDelta accumulator.
+func (ms *MagicSquare) CostsIfSwapAll(cfg []int, cost, i int, out []int) {
+	n := ms.side
+	m := ms.m
+	r1, c1 := i/n, i%n
+	row1, col1 := ms.row[r1], ms.col[c1]
+	row1Dev, col1Dev := abs(row1-m), abs(col1-m)
+	d1, d2 := ms.d1, ms.d2
+	d1Dev, d2Dev := abs(d1-m), abs(d2-m)
+	onD1 := r1 == c1
+	onD2 := r1+c1 == n-1
+	vi := cfg[i]
+	for j, vj := range cfg {
+		if j == i {
+			out[i] = cost
+			continue
+		}
+		dv := vj - vi // value change at cell i; cell j gets -dv
+		c := cost
+		r2, c2 := j/n, j%n
+		if r2 != r1 {
+			s := ms.row[r2]
+			c += abs(row1+dv-m) - row1Dev + abs(s-dv-m) - abs(s-m)
+		}
+		if c2 != c1 {
+			s := ms.col[c2]
+			c += abs(col1+dv-m) - col1Dev + abs(s-dv-m) - abs(s-m)
+		}
+		dd := 0
+		if onD1 {
+			dd += dv
+		}
+		if r2 == c2 {
+			dd -= dv
+		}
+		if dd != 0 {
+			c += abs(d1+dd-m) - d1Dev
+		}
+		dd = 0
+		if onD2 {
+			dd += dv
+		}
+		if r2+c2 == n-1 {
+			dd -= dv
+		}
+		if dd != 0 {
+			c += abs(d2+dd-m) - d2Dev
+		}
+		out[j] = c
+	}
 }
 
 // Tune implements core.Tuner following the C benchmark's settings: magic

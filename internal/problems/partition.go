@@ -29,6 +29,16 @@ type Partition struct {
 	targetSum int
 	targetSq  int
 	sumA, sqA int // cached first-half aggregates
+
+	// errVec caches the per-position projected errors. An entry depends
+	// only on the position's half, its value and the *signs* of the two
+	// aggregate deviations, so a swap that leaves both signs unchanged
+	// touches only the two swapped entries; a sign flip invalidates the
+	// vector for a lazy O(n) rebuild (no worse than the per-variable
+	// scan it replaces, and rare once the search settles near balance).
+	errVec        []int
+	errValid      bool
+	sgnSum, sgnSq int // signs of sumA-targetSum / sqA-targetSq at the last rebuild
 }
 
 // NewPartition returns an instance for n numbers. Solutions require n a
@@ -48,7 +58,26 @@ func NewPartition(n int) (*Partition, error) {
 		half:      n / 2,
 		targetSum: s / 2,
 		targetSq:  q / 2,
+		errVec:    make([]int, n),
 	}, nil
+}
+
+var (
+	_ core.SwapExecutor          = (*Partition)(nil)
+	_ core.MaintainedErrorVector = (*Partition)(nil)
+	_ core.MoveEvaluator         = (*Partition)(nil)
+)
+
+// sign returns -1, 0 or 1.
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Name implements core.Namer.
@@ -66,6 +95,7 @@ func (p *Partition) Cost(cfg []int) int {
 		sq += v * v
 	}
 	p.sumA, p.sqA = sum, sq
+	p.errValid = false
 	return abs(sum-p.targetSum) + abs(sq-p.targetSq)
 }
 
@@ -104,10 +134,18 @@ func (p *Partition) CostIfSwap(cfg []int, cost, i, j int) int {
 	return abs(sum-p.targetSum) + abs(sq-p.targetSq)
 }
 
-// ExecutedSwap implements core.SwapExecutor.
+// ExecutedSwap implements core.SwapExecutor. The cached error vector is
+// delta-maintained: an in-half swap only exchanges two values, and a
+// cross-half swap that leaves both aggregate-deviation signs unchanged
+// perturbs only the two swapped entries; a sign flip schedules a lazy
+// full rebuild.
 func (p *Partition) ExecutedSwap(cfg []int, i, j int) {
 	iInA, jInA := i < p.half, j < p.half
 	if iInA == jInA {
+		if p.errValid {
+			p.errVec[i] = p.CostOnVariable(cfg, i)
+			p.errVec[j] = p.CostOnVariable(cfg, j)
+		}
 		return
 	}
 	if !iInA {
@@ -118,6 +156,61 @@ func (p *Partition) ExecutedSwap(cfg []int, i, j int) {
 	vIn, vOut := cfg[i]+1, cfg[j]+1
 	p.sumA += vIn - vOut
 	p.sqA += vIn*vIn - vOut*vOut
+	if p.errValid {
+		if sign(p.sumA-p.targetSum) != p.sgnSum || sign(p.sqA-p.targetSq) != p.sgnSq {
+			p.errValid = false
+		} else {
+			p.errVec[i] = p.CostOnVariable(cfg, i)
+			p.errVec[j] = p.CostOnVariable(cfg, j)
+		}
+	}
+}
+
+// CostsIfSwapAll implements core.MoveEvaluator. Position i's half and
+// value are hoisted; same-half candidates are cost-neutral by
+// construction and cross-half candidates cost O(1) arithmetic.
+func (p *Partition) CostsIfSwapAll(cfg []int, cost, i int, out []int) {
+	iInA := i < p.half
+	vi := cfg[i] + 1
+	for j, raw := range cfg {
+		if j == i {
+			out[i] = cost
+			continue
+		}
+		if (j < p.half) == iInA {
+			out[j] = cost
+			continue
+		}
+		vj := raw + 1
+		var sum, sq int
+		if iInA {
+			sum = p.sumA - vi + vj
+			sq = p.sqA - vi*vi + vj*vj
+		} else {
+			sum = p.sumA - vj + vi
+			sq = p.sqA - vj*vj + vi*vi
+		}
+		out[j] = abs(sum-p.targetSum) + abs(sq-p.targetSq)
+	}
+}
+
+// LiveErrors implements core.MaintainedErrorVector, rebuilding the
+// vector lazily after a full Cost recompute or a sign flip.
+func (p *Partition) LiveErrors(cfg []int) []int {
+	if !p.errValid {
+		for k := range p.errVec {
+			p.errVec[k] = p.CostOnVariable(cfg, k)
+		}
+		p.sgnSum = sign(p.sumA - p.targetSum)
+		p.sgnSq = sign(p.sqA - p.targetSq)
+		p.errValid = true
+	}
+	return p.errVec
+}
+
+// ErrorsOnVariables implements core.ErrorVector.
+func (p *Partition) ErrorsOnVariables(cfg []int, out []int) {
+	copy(out, p.LiveErrors(cfg))
 }
 
 // Tune implements core.Tuner: partition landscapes are dominated by

@@ -233,11 +233,41 @@ func (p *PerfectSquare) CostIfSwap(cfg []int, cost, i, j int) int {
 	return c
 }
 
+// CostsIfSwapAll implements core.MoveEvaluator: one devirtualized pass
+// of scratch decodes (the decoder is inherently global, so each
+// candidate still pays a full decode).
+func (p *PerfectSquare) CostsIfSwapAll(cfg []int, cost, i int, out []int) {
+	for j := range cfg {
+		if j == i {
+			out[i] = cost
+			continue
+		}
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+		out[j] = p.decode(cfg, p.scratch, nil)
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+	}
+}
+
 // ExecutedSwap implements core.SwapExecutor by re-decoding to refresh
 // the per-step error cache.
 func (p *PerfectSquare) ExecutedSwap(cfg []int, i, j int) {
 	p.decode(cfg, p.heights, p.stepErr)
 }
+
+// LiveErrors implements core.MaintainedErrorVector: the per-step error
+// cache IS the error vector, and Cost/ExecutedSwap keep it current.
+func (p *PerfectSquare) LiveErrors(cfg []int) []int { return p.stepErr }
+
+// ErrorsOnVariables implements core.ErrorVector.
+func (p *PerfectSquare) ErrorsOnVariables(cfg []int, out []int) {
+	copy(out, p.stepErr)
+}
+
+var (
+	_ core.SwapExecutor          = (*PerfectSquare)(nil)
+	_ core.MaintainedErrorVector = (*PerfectSquare)(nil)
+	_ core.MoveEvaluator         = (*PerfectSquare)(nil)
+)
 
 // Tune implements core.Tuner: the decoder landscape is plateau-rich, so
 // a substantial probabilistic escape and frequent small resets help.
