@@ -48,6 +48,22 @@ type MultiWalkResult = multiwalk.Result
 // scheme, the paper's future-work extension.
 type ExchangeOptions = multiwalk.ExchangeOptions
 
+// MultiWalkBoard is the shared elite-configuration board of the
+// dependent multi-walk scheme: publish-and-snapshot of the best
+// (cost, configuration) pair seen by any walker. SolveParallel creates
+// a private in-process board per exchange-enabled run; set
+// MultiWalkOptions.Board to share one across sharded runs, or rely on
+// a DistCoordinator to host a cross-worker board automatically.
+type MultiWalkBoard = multiwalk.Board
+
+// NewMultiWalkBoard returns the in-process board implementation, for
+// driving sharded dependent runs by hand.
+func NewMultiWalkBoard() MultiWalkBoard { return multiwalk.NewLocalBoard() }
+
+// MultiWalkStat reports one walker's outcome within a multi-walk run,
+// including dependent-scheme accounting (Adoptions, Yielded).
+type MultiWalkStat = multiwalk.WalkerStat
+
 // PortfolioEntry assigns engine options (typically a different search
 // strategy) to a weighted share of the walkers of a multi-walk run;
 // set MultiWalkOptions.Portfolio to run a heterogeneous portfolio.
@@ -152,6 +168,11 @@ type ServiceConfig = service.Config
 
 // SolveRequest describes one job submitted to a SolveService.
 type SolveRequest = service.Request
+
+// SolveExchangeSpec opts a SolveRequest into the dependent
+// (communicating) multi-walk scheme; on a distributed backend the
+// walkers cooperate across worker processes.
+type SolveExchangeSpec = service.ExchangeSpec
 
 // SolveJob is an immutable snapshot of a service job.
 type SolveJob = service.Job

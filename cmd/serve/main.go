@@ -11,6 +11,10 @@
 // walkers over the given cmd/worker fleet, with per-worker slot
 // accounting and cross-worker first-solution cancellation. The pool
 // size becomes the fleet's total slot capacity (-slots is ignored).
+// Dependent jobs ({"exchange": {"enabled": true}}) cooperate across
+// workers through a coordinator-hosted elite board; -board-addr,
+// -board-advertise and -board-sync tune where it listens, how workers
+// reach it and how often their caches reconcile (see DESIGN.md §10).
 //
 // Endpoints:
 //
@@ -61,13 +65,19 @@ func run() error {
 		maxTimeout     = flag.Duration("max-timeout", 0, "cap on request-supplied deadlines (0 = 5m)")
 		ttl            = flag.Duration("ttl", 0, "finished-job retention (0 = 10m)")
 		workers        = flag.String("workers", "", "comma-separated worker base URLs; empty runs jobs in-process")
+		boardAddr      = flag.String("board-addr", "", "exchange-board listen address for distributed dependent runs (empty = 127.0.0.1:0; the server starts lazily on the first exchange job)")
+		boardAdvertise = flag.String("board-advertise", "", "base URL workers use to reach the exchange board (empty = derived from the board listener; set it when workers are on other hosts)")
+		boardSync      = flag.Duration("board-sync", 0, "worker board-cache sync period for dependent runs (0 = 50ms)")
 	)
 	flag.Parse()
 
 	var backend service.Backend
 	if *workers != "" {
 		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
-			Workers: strings.Split(*workers, ","),
+			Workers:        strings.Split(*workers, ","),
+			BoardAddr:      *boardAddr,
+			BoardAdvertise: *boardAdvertise,
+			BoardSync:      *boardSync,
 		})
 		if err != nil {
 			return err

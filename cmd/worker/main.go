@@ -42,12 +42,13 @@ func main() {
 
 func run() error {
 	var (
-		addr  = flag.String("addr", ":9101", "listen address")
-		slots = flag.Int("slots", 0, "walker-slot capacity (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":9101", "listen address")
+		slots     = flag.Int("slots", 0, "walker-slot capacity (0 = GOMAXPROCS)")
+		boardSync = flag.Duration("board-sync", 0, "fallback board-cache sync period for dependent (exchange) shard runs when the coordinator does not pin one (0 = 50ms)")
 	)
 	flag.Parse()
 
-	wk := dist.NewWorker(dist.WorkerConfig{Slots: *slots})
+	wk := dist.NewWorker(dist.WorkerConfig{Slots: *slots, BoardSync: *boardSync})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           wk.Handler(),

@@ -7,6 +7,7 @@
 //
 //	loadgen -inprocess -jobs 200 -concurrency 32            # self-hosted smoke
 //	loadgen -inprocess -dist-workers 3 -jobs 200            # in-process distributed fleet
+//	loadgen -inprocess -dist-workers 3 -exchange -jobs 100  # dependent runs across the fleet
 //	loadgen -addr http://localhost:8080 -jobs 1000          # against cmd/serve
 //
 // -dist-workers n stands up n in-process dist workers plus a
@@ -45,8 +46,8 @@ type scenario struct {
 	req  map[string]any
 }
 
-func scenarios(timeoutMS int64) []scenario {
-	return []scenario{
+func scenarios(timeoutMS int64, exchange bool) []scenario {
+	mix := []scenario{
 		{"costas-8", map[string]any{"problem": "costas", "size": 8, "walkers": 1, "timeout_ms": timeoutMS}},
 		{"costas-10x2", map[string]any{"problem": "costas", "size": 10, "walkers": 2, "timeout_ms": timeoutMS}},
 		{"queens-32", map[string]any{"problem": "queens", "size": 32, "walkers": 1, "timeout_ms": timeoutMS}},
@@ -57,6 +58,16 @@ func scenarios(timeoutMS int64) []scenario {
 			"portfolio": []map[string]any{{"strategy": "adaptive", "weight": 1}, {"strategy": "metropolis", "weight": 1}},
 		}},
 	}
+	if exchange {
+		// Dependent mode: multi-walker scenarios cooperate through the
+		// elite board — on a dist backend, across worker processes.
+		for _, sc := range mix {
+			if w, ok := sc.req["walkers"].(int); ok && w >= 2 {
+				sc.req["exchange"] = map[string]any{"enabled": true, "period_iters": 256, "adopt_factor": 1.5}
+			}
+		}
+	}
+	return mix
 }
 
 func main() {
@@ -79,6 +90,7 @@ func run() error {
 		distSlots   = flag.Int("dist-slots", 2, "slot capacity of each in-process dist worker")
 		asyncEvery  = flag.Int("async-every", 5, "poll instead of wait for every n-th job (0 = always wait)")
 		seed        = flag.Int64("seed", 1, "workload shuffle seed")
+		exchange    = flag.Bool("exchange", false, "run multi-walker scenarios in dependent (exchange) mode — on a dist backend, walkers cooperate across worker processes")
 	)
 	flag.Parse()
 
@@ -122,7 +134,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("probing %s/healthz: %w", base, err)
 	}
-	mix := scenarios(*timeoutMS)
+	mix := scenarios(*timeoutMS, *exchange)
 	for _, sc := range mix {
 		w, ok := sc.req["walkers"].(int)
 		if !ok {

@@ -33,6 +33,61 @@ func CollectVirtualPortfolioDist(ctx context.Context, c *dist.Coordinator, w Wor
 	return collectVirtualDist(ctx, c, w, k, reps, seed, strategies)
 }
 
+// CollectExchangeDist characterizes the dependent (Exchange) scheme on
+// a worker fleet: reps wall-clock k-walker jobs run with cross-worker
+// cooperation through the coordinator-hosted board, and the collection
+// reports how many solved, the mean winner iterations over the solved
+// reps, and the mean adoption count per rep (the scheme's
+// communication activity). Unlike the virtual collectors there is no
+// bit-for-bit contract — dependent runs are timing-dependent by nature
+// (DESIGN.md §10) — so these numbers describe the scheme's behavior on
+// this fleet rather than reproduce machine-independent figures.
+func CollectExchangeDist(ctx context.Context, c *dist.Coordinator, w Workload, k, reps int, seed uint64, x multiwalk.ExchangeOptions) (solved int, meanWinnerIters, meanAdoptions float64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c == nil {
+		return 0, 0, 0, fmt.Errorf("bench: nil coordinator")
+	}
+	if !x.Enabled {
+		return 0, 0, 0, fmt.Errorf("bench: CollectExchangeDist needs Exchange.Enabled (use CollectVirtualSpeedupDist for independent runs)")
+	}
+	if k < 1 || reps < 1 {
+		return 0, 0, 0, fmt.Errorf("bench: CollectExchangeDist needs k >= 1 and reps >= 1, got k=%d reps=%d", k, reps)
+	}
+	probe, err := problems.New(w.Benchmark, w.Size)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	engine := core.TunedOptions(probe)
+	var winSum, adoptSum float64
+	for rep := 0; rep < reps; rep++ {
+		res, err := c.Run(ctx, dist.JobSpec{
+			Problem:  w.Benchmark,
+			Size:     w.Size,
+			Walkers:  k,
+			Seed:     seed + uint64(rep)*7919,
+			Engine:   engine,
+			Exchange: x,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if res.Truncated {
+			return 0, 0, 0, fmt.Errorf("bench: distributed exchange %d-walk of %s truncated (worker lost or cancelled)", k, w)
+		}
+		if res.Solved {
+			solved++
+			winSum += float64(res.WinnerIterations)
+		}
+		adoptSum += float64(res.Adoptions)
+	}
+	if solved > 0 {
+		meanWinnerIters = winSum / float64(solved)
+	}
+	return solved, meanWinnerIters, adoptSum / float64(reps), nil
+}
+
 // collectVirtualDist mirrors collectVirtual with the coordinator as
 // the executor. The job construction — tuned engine options, weight-1
 // portfolio entries, the seed schedule — is kept identical so the two

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/multiwalk"
+)
+
+// testFleet stands up n in-process dist workers and a coordinator.
+func testFleet(t *testing.T, n, slotsEach int) *dist.Coordinator {
+	t.Helper()
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		wk := dist.NewWorker(dist.WorkerConfig{Slots: slotsEach})
+		srv := httptest.NewServer(wk.Handler())
+		t.Cleanup(func() { srv.Close(); wk.Close() })
+		urls = append(urls, srv.URL)
+	}
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Workers: urls, BoardSync: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord
+}
+
+func TestCollectExchangeDist(t *testing.T) {
+	coord := testFleet(t, 2, 1)
+	w := Workload{Benchmark: "costas", Size: 9}
+	x := multiwalk.ExchangeOptions{Enabled: true, Period: 128, AdoptFactor: 1.5}
+	solved, meanIters, meanAdoptions, err := CollectExchangeDist(context.Background(), coord, w, 2, 2, 1234, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solved != 2 {
+		t.Fatalf("solved %d of 2 exchange reps on costas 9", solved)
+	}
+	if meanIters <= 0 {
+		t.Fatalf("mean winner iterations = %v", meanIters)
+	}
+	if meanAdoptions < 0 {
+		t.Fatalf("mean adoptions = %v", meanAdoptions)
+	}
+
+	// Misuse guards: nil coordinator, disabled exchange.
+	if _, _, _, err := CollectExchangeDist(context.Background(), nil, w, 2, 1, 1, x); err == nil {
+		t.Fatal("nil coordinator accepted")
+	}
+	if _, _, _, err := CollectExchangeDist(context.Background(), coord, w, 2, 1, 1, multiwalk.ExchangeOptions{}); err == nil {
+		t.Fatal("disabled exchange accepted")
+	}
+}

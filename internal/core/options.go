@@ -97,6 +97,12 @@ type Options struct {
 	Monitor func(iter int64, cost int, cfg []int) Directive
 }
 
+// DefaultCheckEvery is the cancellation/Monitor poll period selected
+// when Options.CheckEvery is 0. Exported so drivers that tighten the
+// poll period (the multi-walk exchange scheme clamps it to the exchange
+// period) resolve the default exactly once, here.
+const DefaultCheckEvery = 64
+
 // Directive steers a running search from a Monitor callback.
 type Directive struct {
 	// Stop aborts the Solve call; the result reports Interrupted.
@@ -147,7 +153,7 @@ func (o *Options) normalize(n int) {
 		o.ResetFraction = 0.1
 	}
 	if o.CheckEvery == 0 {
-		o.CheckEvery = 64
+		o.CheckEvery = DefaultCheckEvery
 	}
 }
 

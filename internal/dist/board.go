@@ -1,0 +1,301 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multiwalk"
+	"repro/internal/perm"
+)
+
+// defaultBoardSync is the worker cache's board reconciliation period
+// when neither the coordinator (ExchangeSpec.SyncMS) nor the worker
+// configuration picks one. 50ms keeps cooperation latency well under a
+// typical exchange period's wall-clock while staying negligible
+// against the protocol's other traffic.
+const defaultBoardSync = 50 * time.Millisecond
+
+// boardSyncTimeout bounds one publish-and-fetch round trip. A sync
+// that misses its window is simply retried at the next tick — the
+// scheme is best-effort by design, so a slow board must never back up
+// into the worker.
+const boardSyncTimeout = 5 * time.Second
+
+// boardHub is the coordinator side of the cross-worker exchange
+// scheme: one global multiwalk.Board per exchange-enabled job, served
+// over a lazily started HTTP listener that workers sync their local
+// caches against (POST /v1/runs/{id}/board, combined publish-and-
+// fetch). The hub is lazy so fleets that never run dependent jobs pay
+// nothing — no port, no goroutine.
+type boardHub struct {
+	addr      string // listen address; "" selects 127.0.0.1:0
+	advertise string // advertised base URL; "" derives from the listener
+
+	mu     sync.Mutex
+	ln     net.Listener
+	srv    *http.Server
+	base   string
+	boards map[string]*boardEntry
+}
+
+// boardEntry is one job's global board plus the probe instance the hub
+// uses to verify publishes. The probe is a live problem encoding whose
+// Cost call may mutate cached internal state, so probeMu serializes it
+// across concurrent syncs.
+type boardEntry struct {
+	board   multiwalk.Board
+	probe   core.Problem
+	probeMu sync.Mutex
+}
+
+func newBoardHub(addr, advertise string) *boardHub {
+	return &boardHub{
+		addr:      addr,
+		advertise: advertise,
+		boards:    make(map[string]*boardEntry),
+	}
+}
+
+// open registers a fresh global board for a job, starting the board
+// server if this is the fleet's first exchange-enabled job. probe is a
+// private instance of the job's problem, used to verify every publish
+// (see handleSync). It returns the board's sync URL (for
+// RunRequest.Board), the board handle (for inspecting the merged
+// global state — job results flow back through shard responses, not
+// the board, so the coordinator itself discards it), and a release
+// function dropping the board once every shard has unwound.
+func (h *boardHub) open(jobID string, probe core.Problem) (url string, board multiwalk.Board, release func(), err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.ensureServerLocked(); err != nil {
+		return "", nil, nil, err
+	}
+	if _, dup := h.boards[jobID]; dup {
+		return "", nil, nil, fmt.Errorf("dist: board for job %q already open", jobID)
+	}
+	board = multiwalk.NewLocalBoard()
+	h.boards[jobID] = &boardEntry{board: board, probe: probe}
+	release = func() {
+		h.mu.Lock()
+		delete(h.boards, jobID)
+		h.mu.Unlock()
+	}
+	return h.base + "/v1/runs/" + jobID + "/board", board, release, nil
+}
+
+// ensureServerLocked starts the board listener and server on first
+// use. Callers hold h.mu.
+func (h *boardHub) ensureServerLocked() error {
+	if h.ln != nil {
+		return nil
+	}
+	addr := h.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: starting board server on %s: %w", addr, err)
+	}
+	h.ln = ln
+	if h.advertise != "" {
+		h.base = strings.TrimRight(h.advertise, "/")
+	} else {
+		h.base = "http://" + ln.Addr().String()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs/{id}/board", h.handleSync)
+	h.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = h.srv.Serve(ln) }()
+	return nil
+}
+
+// handleSync merges a worker cache's best into the job's global board
+// and answers with the global best — one round trip carrying at most
+// one configuration each way.
+func (h *boardHub) handleSync(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h.mu.Lock()
+	entry := h.boards[id]
+	h.mu.Unlock()
+	if entry == nil {
+		// The job finished (or never existed): benign for a straggling
+		// sync racing the shard responses, but the worker has nothing to
+		// gain from retrying against this board.
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown board " + id})
+		return
+	}
+	var msg BoardSync
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBoardSyncLen)).Decode(&msg); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid board sync: " + err.Error()})
+		return
+	}
+	cur, _, curOK := entry.board.Snapshot()
+	if msg.Valid && (!curOK || msg.Cost < cur) {
+		// Only a claim that would improve the board is worth verifying:
+		// the board keeps strict improvements only, so skipping the rest
+		// (the steady-state case — caches re-send their unchanged best
+		// every period) is behavior-identical and saves a full cost
+		// recomputation per sync.
+		//
+		// The board crosses trust boundaries between processes, and its
+		// contents steer every walker of the job, so the claim is
+		// verified rather than trusted: the configuration must be a
+		// permutation of the job's instance size, and the cost must be
+		// the probe-recomputed cost of that configuration. Without the
+		// recomputation one corrupt publisher could post a fake cost 0
+		// and stand the whole fleet down, or a fake low cost that
+		// monotonically blocks every real elite. Honest publishes always
+		// match: the engine's incrementally maintained cost equals the
+		// recomputed one (pinned by the core equivalence suites).
+		if len(msg.Cfg) != entry.probe.Size() || perm.Validate(msg.Cfg) != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "board sync configuration is not a permutation of the job's instance size"})
+			return
+		}
+		entry.probeMu.Lock()
+		actual := entry.probe.Cost(msg.Cfg)
+		entry.probeMu.Unlock()
+		if actual != msg.Cost {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("board sync cost %d does not match the configuration's actual cost %d", msg.Cost, actual)})
+			return
+		}
+		entry.board.Publish(actual, msg.Cfg)
+	}
+	cost, cfg, ok := entry.board.Snapshot()
+	writeJSON(w, http.StatusOK, BoardSync{Valid: ok, Cost: cost, Cfg: cfg})
+}
+
+// close shuts the board server down; in-flight syncs are severed (the
+// scheme is best-effort, and the owning coordinator is going away).
+func (h *boardHub) close() {
+	h.mu.Lock()
+	srv := h.srv
+	h.srv, h.ln = nil, nil
+	h.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// remoteBoard is the worker side of the cross-worker exchange scheme:
+// a multiwalk.Board whose Publish/Snapshot operate purely on a local
+// in-memory cache — the hot loop never blocks on the network — while a
+// background syncer periodically reconciles the cache with the
+// coordinator-hosted global board (publish my best, merge back the
+// global best). Cooperation latency is therefore bounded by the sync
+// period plus one round trip, and a partitioned worker degrades to an
+// independent walk instead of stalling.
+type remoteBoard struct {
+	cache  multiwalk.Board
+	url    string
+	client *http.Client
+	period time.Duration
+
+	stopSync context.CancelFunc
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newRemoteBoard(url string, client *http.Client, period time.Duration) *remoteBoard {
+	if period <= 0 {
+		period = defaultBoardSync
+	}
+	return &remoteBoard{
+		cache:  multiwalk.NewLocalBoard(),
+		url:    url,
+		client: client,
+		period: period,
+	}
+}
+
+// Publish implements multiwalk.Board against the local cache.
+func (b *remoteBoard) Publish(cost int, cfg []int) { b.cache.Publish(cost, cfg) }
+
+// Snapshot implements multiwalk.Board against the local cache.
+func (b *remoteBoard) Snapshot() (int, []int, bool) { return b.cache.Snapshot() }
+
+// start launches the background syncer. It runs until stop is called
+// or ctx is cancelled, whichever comes first.
+func (b *remoteBoard) start(ctx context.Context) {
+	syncCtx, cancel := context.WithCancel(ctx)
+	b.stopSync = cancel
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		tick := time.NewTicker(b.period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-syncCtx.Done():
+				return
+			case <-tick.C:
+				b.sync(syncCtx)
+			}
+		}
+	}()
+}
+
+// stop halts the syncer and performs one final flush on a fresh
+// context, so a win published after the last tick (or after the run
+// context was cancelled) still reaches the global board before the
+// shard answers the coordinator. Idempotent: later calls are no-ops.
+func (b *remoteBoard) stop() {
+	if b.stopSync == nil {
+		return
+	}
+	b.stopOnce.Do(func() {
+		b.stopSync()
+		b.wg.Wait()
+		flushCtx, cancel := context.WithTimeout(context.Background(), boardSyncTimeout)
+		defer cancel()
+		b.sync(flushCtx)
+	})
+}
+
+// sync performs one combined publish-and-fetch round trip. Failures
+// are swallowed: a missed sync only delays cooperation, and the next
+// tick retries.
+func (b *remoteBoard) sync(ctx context.Context) {
+	cost, cfg, ok := b.cache.Snapshot()
+	payload, err := json.Marshal(BoardSync{Valid: ok, Cost: cost, Cfg: cfg})
+	if err != nil {
+		return
+	}
+	reqCtx, cancel := context.WithTimeout(ctx, boardSyncTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, b.url, bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var global BoardSync
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBoardSyncLen)).Decode(&global); err != nil {
+		return
+	}
+	if global.Valid && len(global.Cfg) > 0 {
+		b.cache.Publish(global.Cost, global.Cfg)
+	}
+}
+
+// errExchangeVirtual rejects dependent virtual runs at the coordinator
+// before any slot is reserved; the protocol validator enforces the
+// same rule worker-side.
+var errExchangeVirtual = errors.New("dist: the exchange scheme requires wall-clock Run mode; virtual sweeps have no concurrent peers to cooperate with")

@@ -31,6 +31,22 @@ type CoordinatorConfig struct {
 	// ProbeTimeout bounds the enrollment health probe per worker. 0
 	// selects 5s.
 	ProbeTimeout time.Duration
+	// BoardAddr is the listen address of the coordinator's global
+	// exchange-board server, which workers sync against during
+	// dependent (Exchange) jobs. Empty selects 127.0.0.1:0 — correct
+	// for single-host fleets and tests. The server starts lazily on the
+	// first exchange-enabled job, so independent-only fleets never open
+	// the port.
+	BoardAddr string
+	// BoardAdvertise is the base URL workers use to reach the board
+	// server (e.g. "http://10.0.0.1:9190"). Empty derives it from the
+	// listener address; set it explicitly when workers are on other
+	// hosts or behind NAT.
+	BoardAdvertise string
+	// BoardSync is the period at which worker-side board caches
+	// reconcile with the global board. 0 lets each worker apply its
+	// default (50ms).
+	BoardSync time.Duration
 }
 
 // JobSpec describes one distributed multi-walk job. It is the
@@ -53,6 +69,13 @@ type JobSpec struct {
 	// Portfolio, when non-empty, runs a heterogeneous portfolio with
 	// entries assigned by global walker index.
 	Portfolio []multiwalk.PortfolioEntry
+	// Exchange, when Enabled, runs the job in the dependent
+	// (communicating) multi-walk scheme: the coordinator hosts a global
+	// elite board and every worker shard cooperates through it, so
+	// adoptions cross process boundaries. Run mode only; dependent runs
+	// are timing-dependent by nature (see DESIGN.md §10), unlike the
+	// bit-for-bit deterministic independent modes.
+	Exchange multiwalk.ExchangeOptions
 }
 
 // workerRef is one enrolled worker plus its slot accounting.
@@ -83,6 +106,9 @@ type Coordinator struct {
 	workers []*workerRef
 
 	seq atomic.Uint64
+
+	boards    *boardHub
+	boardSync time.Duration
 }
 
 // NewCoordinator enrolls the configured workers, probing each for its
@@ -101,7 +127,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if probeTimeout <= 0 {
 		probeTimeout = 5 * time.Second
 	}
-	c := &Coordinator{client: client}
+	if cfg.BoardSync < 0 {
+		return nil, errors.New("dist: CoordinatorConfig.BoardSync must be >= 0")
+	}
+	c := &Coordinator{
+		client:    client,
+		boards:    newBoardHub(cfg.BoardAddr, cfg.BoardAdvertise),
+		boardSync: cfg.BoardSync,
+	}
 	for i, base := range cfg.Workers {
 		slots, err := c.probe(base, probeTimeout)
 		if err != nil {
@@ -166,9 +199,13 @@ func (c *Coordinator) Workers() []WorkerInfo {
 }
 
 // Close releases the coordinator. Runs in flight keep their slot
-// reservations until they unwind; the coordinator holds no goroutines
-// of its own between runs.
-func (c *Coordinator) Close() {}
+// reservations until they unwind; the only coordinator-owned resource
+// is the exchange-board server, which is shut down here (its absence
+// degrades in-flight dependent runs to independent walks — the
+// scheme's designed failure mode).
+func (c *Coordinator) Close() {
+	c.boards.close()
+}
 
 // Run executes the job in wall-clock mode: every shard's walkers run
 // concurrently on their worker, and the first shard to report a
@@ -194,9 +231,6 @@ func (c *Coordinator) RunVirtual(ctx context.Context, job JobSpec) (multiwalk.Re
 // so the scheduler's throughput counters stay truthful.
 func (c *Coordinator) RunJob(ctx context.Context, problem string, size int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error) {
 	_ = factory
-	if opts.Exchange.Enabled {
-		return multiwalk.Result{}, errors.New("dist: the exchange scheme is process-local and cannot run distributed")
-	}
 	res, err := c.Run(ctx, JobSpec{
 		Problem:   problem,
 		Size:      size,
@@ -204,6 +238,7 @@ func (c *Coordinator) RunJob(ctx context.Context, problem string, size int, fact
 		Seed:      opts.Seed,
 		Engine:    opts.Engine,
 		Portfolio: opts.Portfolio,
+		Exchange:  opts.Exchange,
 	})
 	if err == nil && opts.Progress != nil {
 		for _, ws := range res.Walkers {
@@ -246,6 +281,19 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 			return multiwalk.Result{}, fmt.Errorf("dist: portfolio[%d] carries a Monitor hook, which cannot cross process boundaries", i)
 		}
 	}
+	exchangeSpec := ExchangeSpecFor(job.Exchange)
+	if job.Exchange.Enabled {
+		if mode != ModeRun {
+			return multiwalk.Result{}, errExchangeVirtual
+		}
+		// Stamp the fleet-wide sync cadence before validating, so a bad
+		// CoordinatorConfig.BoardSync is caught here — before slots are
+		// reserved — rather than by every worker's request validation.
+		exchangeSpec.SyncMS = c.boardSync.Milliseconds()
+		if err := exchangeSpec.validate("exchange"); err != nil {
+			return multiwalk.Result{}, err
+		}
+	}
 
 	plan, release, err := c.plan(mode, job.Walkers)
 	if err != nil {
@@ -277,6 +325,28 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 	var wg sync.WaitGroup
 	for i := range plan {
 		plan[i].runID = fmt.Sprintf("job%06d-s%d", jobID, i)
+	}
+
+	// Dependent jobs get a job-wide global board: every shard receives
+	// the same sync URL, so elite configurations flow between workers.
+	// The board lives exactly as long as the job — run() waits for all
+	// shard responses before releasing it, so no shard ever syncs into
+	// a reassigned board.
+	var boardURL string
+	if job.Exchange.Enabled {
+		// The probe instance lets the board server verify every publish
+		// against the actual problem (see boardHub.handleSync); building
+		// it here also validates the job's problem/size coordinator-side.
+		probe, err := problems.New(job.Problem, job.Size)
+		if err != nil {
+			return multiwalk.Result{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		url, _, releaseBoard, err := c.boards.open(fmt.Sprintf("job%06d", jobID), probe)
+		if err != nil {
+			return multiwalk.Result{}, err
+		}
+		defer releaseBoard()
+		boardURL = url
 	}
 
 	// Pre-cancelled caller: don't contact the fleet at all — report
@@ -327,6 +397,8 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 				Engine:       engineSpec,
 				Portfolio:    portfolio,
 				DeadlineMS:   deadlineMS,
+				Exchange:     exchangeSpec,
+				Board:        boardURL,
 			}
 			outcomes[i] = c.runShard(reqCtx, a, req)
 			if mode == ModeRun && outcomes[i].err == nil && !outcomes[i].lost && outcomes[i].res.Solved {

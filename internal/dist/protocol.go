@@ -73,6 +73,12 @@ const (
 	maxPortfolio      = 4096
 	maxInitialConfig  = 1 << 20
 	maxRequestBodyLen = 8 << 20
+	maxBoardURL       = 4096
+	// maxBoardSyncLen must hold one configuration of any protocol-legal
+	// instance (n up to maxSize, up to ~8 JSON bytes per value) —
+	// otherwise large exchange jobs would silently degrade to
+	// independent walks with every sync rejected at the cap.
+	maxBoardSyncLen = 16 << 20
 )
 
 // RunRequest is the worker protocol's only command: run the global
@@ -108,6 +114,81 @@ type RunRequest struct {
 	// orphaned run (coordinator gone without cancelling) cannot hold
 	// slots forever. 0 means no worker-side deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Exchange, when Enabled, runs the shard's walkers in the dependent
+	// (communicating) multi-walk scheme against the job-wide global
+	// board at Board. Requires ModeRun: the virtual mode's sequential
+	// sweeps have no concurrent peers to cooperate with.
+	Exchange ExchangeSpec `json:"exchange,omitzero"`
+	// Board is the coordinator-hosted global board endpoint for the job
+	// (combined publish-and-fetch, POST BoardSync). Required when
+	// Exchange is enabled; every shard of one job receives the same URL.
+	Board string `json:"board,omitempty"`
+}
+
+// ExchangeSpec is the wire form of multiwalk.ExchangeOptions plus the
+// distribution-only sync cadence. Like EngineSpec, it carries resolved
+// numbers only; the board connection itself is process-local state the
+// worker builds from Board.
+type ExchangeSpec struct {
+	Enabled      bool    `json:"enabled,omitempty"`
+	Period       int64   `json:"period,omitempty"`
+	AdoptFactor  float64 `json:"adopt_factor,omitempty"`
+	PerturbSwaps int     `json:"perturb_swaps,omitempty"`
+	// SyncMS is the worker cache's board sync period in milliseconds —
+	// how often the write-through cache reconciles with the global
+	// board. 0 selects the worker's default (50ms). The hot loop never
+	// waits on this: walkers always read and write the local cache.
+	SyncMS int64 `json:"sync_ms,omitempty"`
+}
+
+// ExchangeSpecFor converts exchange options into their wire form.
+func ExchangeSpecFor(x multiwalk.ExchangeOptions) ExchangeSpec {
+	return ExchangeSpec{
+		Enabled:      x.Enabled,
+		Period:       x.Period,
+		AdoptFactor:  x.AdoptFactor,
+		PerturbSwaps: x.PerturbSwaps,
+	}
+}
+
+// Options converts the wire form back into exchange options.
+func (s ExchangeSpec) Options() multiwalk.ExchangeOptions {
+	return multiwalk.ExchangeOptions{
+		Enabled:      s.Enabled,
+		Period:       s.Period,
+		AdoptFactor:  s.AdoptFactor,
+		PerturbSwaps: s.PerturbSwaps,
+	}
+}
+
+// validate checks the wire-level invariants of an exchange spec —
+// multiwalk's shared exchange validator plus the wire-only sync
+// cadence — so a bad job is rejected at the protocol edge rather than
+// after slots were reserved.
+func (s *ExchangeSpec) validate(where string) error {
+	if !s.Enabled {
+		return nil
+	}
+	x := s.Options()
+	if err := x.Validate(); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadRequest, where, err)
+	}
+	if s.SyncMS < 0 {
+		return fmt.Errorf("%w: %s: negative sync_ms", ErrBadRequest, where)
+	}
+	return nil
+}
+
+// BoardSync is one combined publish-and-fetch exchange against a job's
+// global board: the request carries the caller's current best (Valid
+// false when it has none yet), the response the global best after the
+// merge. One round trip per sync period is the scheme's entire network
+// footprint — the paper's minimal-data-transfer goal, kept across
+// process boundaries.
+type BoardSync struct {
+	Valid bool  `json:"valid"`
+	Cost  int   `json:"cost,omitempty"`
+	Cfg   []int `json:"cfg,omitempty"`
 }
 
 // EngineSpec is the wire form of core.Options: every numeric tunable,
@@ -152,6 +233,7 @@ type WalkerStatWire struct {
 	Interrupted    bool   `json:"interrupted"`
 	ElapsedNS      int64  `json:"elapsed_ns"`
 	Adoptions      int64  `json:"adoptions,omitempty"`
+	Yielded        bool   `json:"yielded,omitempty"`
 }
 
 // RunResponse reports a finished shard run.
@@ -209,6 +291,20 @@ func (req *RunRequest) Validate() error {
 	}
 	if len(req.Portfolio) > maxPortfolio {
 		return fmt.Errorf("%w: portfolio of %d entries exceeds %d", ErrBadRequest, len(req.Portfolio), maxPortfolio)
+	}
+	if err := req.Exchange.validate("exchange"); err != nil {
+		return err
+	}
+	if req.Exchange.Enabled {
+		if req.Mode != ModeRun {
+			return fmt.Errorf("%w: exchange requires mode %q (virtual sweeps have no concurrent peers)", ErrBadRequest, ModeRun)
+		}
+		if req.Board == "" {
+			return fmt.Errorf("%w: exchange enabled without a board URL", ErrBadRequest)
+		}
+	}
+	if len(req.Board) > maxBoardURL {
+		return fmt.Errorf("%w: board URL of %d bytes exceeds %d", ErrBadRequest, len(req.Board), maxBoardURL)
 	}
 	if err := req.Engine.validate("engine"); err != nil {
 		return err
@@ -312,6 +408,7 @@ func wireStat(ws multiwalk.WalkerStat) WalkerStatWire {
 		Interrupted:    r.Interrupted,
 		ElapsedNS:      int64(r.Elapsed),
 		Adoptions:      ws.Adoptions,
+		Yielded:        ws.Yielded,
 	}
 }
 
@@ -335,6 +432,7 @@ func statFromWire(w WalkerStatWire) multiwalk.WalkerStat {
 			Elapsed:        time.Duration(w.ElapsedNS),
 		},
 		Adoptions: w.Adoptions,
+		Yielded:   w.Yielded,
 	}
 }
 

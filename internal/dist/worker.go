@@ -21,6 +21,14 @@ type WorkerConfig struct {
 	// goroutines this worker accepts across all shard runs (the
 	// paper's one-walker-per-core model). 0 selects GOMAXPROCS.
 	Slots int
+	// BoardSync is the fallback board-cache sync period for dependent
+	// (Exchange) shard runs whose request does not pin one
+	// (ExchangeSpec.SyncMS). 0 selects 50ms.
+	BoardSync time.Duration
+	// BoardClient is the HTTP client for board sync traffic. nil
+	// selects a dedicated client (each sync is bounded by its own
+	// timeout, so no global one is set).
+	BoardClient *http.Client
 }
 
 // Worker executes shard runs on behalf of a coordinator. Expose it
@@ -36,7 +44,9 @@ type WorkerConfig struct {
 // still reports its partial stats) or by the coordinator dropping the
 // connection (orphan protection — the request context aborts the run).
 type Worker struct {
-	slots int
+	slots       int
+	boardSync   time.Duration
+	boardClient *http.Client
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -56,12 +66,20 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Slots <= 0 {
 		cfg.Slots = runtime.GOMAXPROCS(0)
 	}
+	if cfg.BoardSync <= 0 {
+		cfg.BoardSync = defaultBoardSync
+	}
+	if cfg.BoardClient == nil {
+		cfg.BoardClient = &http.Client{}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Worker{
-		slots:  cfg.Slots,
-		ctx:    ctx,
-		cancel: cancel,
-		runs:   make(map[string]context.CancelFunc),
+		slots:       cfg.Slots,
+		boardSync:   cfg.BoardSync,
+		boardClient: cfg.BoardClient,
+		ctx:         ctx,
+		cancel:      cancel,
+		runs:        make(map[string]context.CancelFunc),
 	}
 }
 
@@ -164,11 +182,33 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 		opts.Portfolio = append(opts.Portfolio, multiwalk.PortfolioEntry{Weight: p.Weight, Engine: p.Engine.Options()})
 	}
 
+	// Dependent runs cooperate through a write-through cache of the
+	// coordinator's global board: walkers touch only local memory, the
+	// cache syncs in the background, and the final stop() flush pushes
+	// a late win to the board before the shard answers — while the
+	// coordinator still holds the board open (it waits for every shard
+	// response before releasing it).
+	var board *remoteBoard
+	if req.Exchange.Enabled {
+		opts.Exchange = req.Exchange.Options()
+		period := time.Duration(req.Exchange.SyncMS) * time.Millisecond
+		if period <= 0 {
+			period = wk.boardSync
+		}
+		board = newRemoteBoard(req.Board, wk.boardClient, period)
+		board.start(runCtx)
+		defer board.stop() // idempotent backstop for early returns
+		opts.Board = board
+	}
+
 	var res multiwalk.Result
 	if req.Mode == ModeVirtual {
 		res, err = multiwalk.RunVirtual(runCtx, multiwalk.Factory(factory), opts)
 	} else {
 		res, err = multiwalk.Run(runCtx, multiwalk.Factory(factory), opts)
+	}
+	if board != nil {
+		board.stop()
 	}
 	if err != nil {
 		// Deep option validation failed (multiwalk/core reject) — the

@@ -8,30 +8,55 @@ import (
 	"repro/internal/rng"
 )
 
-// exchangeBoard is the shared state of the dependent multiple-walk
-// scheme: the best cost seen by any walker and the configuration that
-// achieved it. Communication is intentionally minimal — the paper's
-// design goals for the dependent scheme are (1) minimal data transfer
-// and (2) reuse of interesting crossroads as restart points.
-type exchangeBoard struct {
+// Board is the shared state of the dependent multiple-walk scheme: the
+// best cost seen by any walker and the configuration that achieved it.
+// Communication is intentionally minimal — the paper's design goals for
+// the dependent scheme are (1) minimal data transfer and (2) reuse of
+// interesting crossroads as restart points.
+//
+// Run creates a private in-process board per exchange-enabled run;
+// Options.Board overrides it with an external implementation, which is
+// how the scheme crosses process boundaries: internal/dist hands each
+// worker a write-through cache of a coordinator-hosted global board, so
+// walkers on different machines share one elite pool while the hot loop
+// only ever touches process-local memory. Implementations must be safe
+// for concurrent use by all walkers of a run.
+type Board interface {
+	// Publish offers a (cost, cfg) pair; the board keeps it if it
+	// improves on the current best. The configuration is copied, so
+	// callers may pass a live engine view.
+	Publish(cost int, cfg []int)
+	// Snapshot returns the best cost and a private copy of the best
+	// configuration, or ok=false while nothing has been published.
+	Snapshot() (cost int, cfg []int, ok bool)
+}
+
+// localBoard is the in-process Board: a mutex-guarded monotone-min
+// (cost, cfg) cell.
+type localBoard struct {
 	mu       sync.Mutex
 	bestCost int
 	bestCfg  []int
 	valid    bool
 }
 
-func newExchangeBoard() *exchangeBoard {
-	return &exchangeBoard{}
+// NewLocalBoard returns the in-process Board implementation. Run
+// creates one automatically for exchange-enabled runs; external
+// executors reuse it as the coordinator-side global board.
+func NewLocalBoard() Board {
+	return &localBoard{}
 }
 
-// publish offers a (cost, cfg) pair to the board; the board keeps it if
-// it improves on the current best.
-func (b *exchangeBoard) publish(cost int, cfg []int) {
+// Publish implements Board. The stored configuration always has the
+// length of the winning publish: a board shared by callers that
+// disagree on n re-fits the buffer instead of silently truncating the
+// copy (which would hand corrupt elite configurations to adopters).
+func (b *localBoard) Publish(cost int, cfg []int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.valid || cost < b.bestCost {
 		b.bestCost = cost
-		if b.bestCfg == nil {
+		if len(b.bestCfg) != len(cfg) {
 			b.bestCfg = make([]int, len(cfg))
 		}
 		copy(b.bestCfg, cfg)
@@ -39,8 +64,8 @@ func (b *exchangeBoard) publish(cost int, cfg []int) {
 	}
 }
 
-// snapshot returns the best cost and a copy of the best configuration.
-func (b *exchangeBoard) snapshot() (cost int, cfg []int, ok bool) {
+// Snapshot implements Board.
+func (b *localBoard) Snapshot() (cost int, cfg []int, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.valid {
@@ -51,11 +76,13 @@ func (b *exchangeBoard) snapshot() (cost int, cfg []int, ok bool) {
 	return b.bestCost, out, true
 }
 
-// monitor returns the engine Monitor implementing the exchange policy
-// for one walker: every Period iterations, publish my state; if my cost
-// is AdoptFactor times worse than the board's best, teleport to a
-// perturbed copy of the elite configuration.
-func (b *exchangeBoard) monitor(stat *WalkerStat, x ExchangeOptions, n int, seed uint64) func(int64, int, []int) core.Directive {
+// boardMonitor returns the engine Monitor implementing the exchange
+// policy for one walker against b: every Period iterations, publish my
+// state; if my cost is AdoptFactor times worse than the board's best,
+// teleport to a perturbed copy of the elite configuration; if the board
+// proves the job solved elsewhere (best cost 0), stop and mark the
+// walker Yielded so accounting can tell it from an external cancel.
+func boardMonitor(b Board, stat *WalkerStat, x ExchangeOptions, n int, seed uint64) func(int64, int, []int) core.Directive {
 	r := rng.New(seed ^ 0x9e3779b97f4a7c15) // walker-private perturbation stream
 	perturb := x.PerturbSwaps
 	if perturb == 0 {
@@ -70,8 +97,8 @@ func (b *exchangeBoard) monitor(stat *WalkerStat, x ExchangeOptions, n int, seed
 			return core.Directive{}
 		}
 		lastCheck = iter
-		b.publish(cost, cfg)
-		best, elite, ok := b.snapshot()
+		b.Publish(cost, cfg)
+		best, elite, ok := b.Snapshot()
 		if !ok || elite == nil {
 			return core.Directive{}
 		}
@@ -82,8 +109,11 @@ func (b *exchangeBoard) monitor(stat *WalkerStat, x ExchangeOptions, n int, seed
 			return core.Directive{SetConfig: elite}
 		}
 		if best == 0 && cost > 0 {
-			// Someone already solved; stop wasting work (Run's cancel
-			// will also arrive, but this is faster and deterministic).
+			// Someone already solved; stop wasting work. This is faster
+			// and more deterministic than waiting for the external
+			// cancel, and Yielded records that the walker stopped
+			// because the job was won — not because a caller cancelled.
+			stat.Yielded = true
 			return core.Directive{Stop: true}
 		}
 		return core.Directive{}

@@ -138,13 +138,13 @@ func TestExchangeAdoptFactorGatesAdoption(t *testing.T) {
 // monitor itself: cost == AdoptFactor*best must not adopt, one above
 // must.
 func TestExchangeAdoptThresholdBoundary(t *testing.T) {
-	b := newExchangeBoard()
+	b := NewLocalBoard()
 	elite := []int{7, 6, 5, 4, 3, 2, 1, 0}
-	b.publish(5, elite)
+	b.Publish(5, elite)
 
 	stat := &WalkerStat{}
 	x := ExchangeOptions{Enabled: true, Period: 10, AdoptFactor: 2, PerturbSwaps: 3}
-	mon := b.monitor(stat, x, 8, 1)
+	mon := boardMonitor(b, stat, x, 8, 1)
 
 	cfg := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	// cost 10 == 2*5: on the boundary, not strictly lagging.
@@ -161,7 +161,7 @@ func TestExchangeAdoptThresholdBoundary(t *testing.T) {
 	}
 	// The teleport hands out a perturbed *copy*; the board's elite must
 	// be untouched by the perturbation.
-	_, cur, _ := b.snapshot()
+	_, cur, _ := b.Snapshot()
 	for i, v := range elite {
 		if cur[i] != v {
 			t.Fatalf("adoption perturbed the board's elite: %v", cur)

@@ -1,0 +1,230 @@
+package multiwalk
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExchangeCadenceNotQuantized is the regression test for the
+// silent Period-quantization bug: the engine polls its Monitor every
+// CheckEvery iterations (default 64), so an Exchange.Period below that
+// used to degrade to CheckEvery with no diagnostic. runWalker now
+// tightens the poll period for exchange-enabled walkers; the chained
+// Progress hook observes the effective cadence.
+func TestExchangeCadenceNotQuantized(t *testing.T) {
+	factory := func() (core.Problem, error) { return inversionsProblem{n: 24}, nil }
+	var mu sync.Mutex
+	var polls []int64
+	opts := Options{
+		Walkers: 1,
+		Seed:    7,
+		Engine:  core.Options{MaxIterations: 64, MaxRuns: 1}, // CheckEvery 0 -> engine default 64
+		Exchange: ExchangeOptions{
+			Enabled: true,
+			Period:  8,
+		},
+		Progress: func(_ int, iter int64, _ int) {
+			mu.Lock()
+			polls = append(polls, iter)
+			mu.Unlock()
+		},
+	}
+	if _, err := Run(context.Background(), factory, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(polls) == 0 {
+		t.Fatal("no monitor polls in 64 iterations")
+	}
+	if polls[0] != 8 {
+		t.Fatalf("first poll at iteration %d, want 8 (Period=8 silently quantized to CheckEvery)", polls[0])
+	}
+	if len(polls) != 8 {
+		t.Fatalf("got %d polls over 64 iterations with Period=8, want 8: %v", len(polls), polls)
+	}
+
+	// Independent walkers must keep the engine's own cadence: the clamp
+	// applies only when a board is in play.
+	polls = nil
+	opts.Exchange = ExchangeOptions{}
+	if _, err := Run(context.Background(), factory, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(polls) != 1 || polls[0] != 64 {
+		t.Fatalf("independent walker polls moved: %v, want [64]", polls)
+	}
+}
+
+// TestBoardPublishLengthGuard pins the publish truncation fix: the
+// board's stored configuration must always match the winning publish,
+// even when callers disagree on n (the old code allocated at the first
+// caller's length and silently truncated longer configurations).
+func TestBoardPublishLengthGuard(t *testing.T) {
+	b := NewLocalBoard()
+	b.Publish(5, []int{3, 2, 1, 0})
+	long := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	b.Publish(3, long)
+	cost, cfg, ok := b.Snapshot()
+	if !ok || cost != 3 {
+		t.Fatalf("snapshot = %d %v %v, want cost 3", cost, cfg, ok)
+	}
+	if len(cfg) != len(long) {
+		t.Fatalf("stored config truncated to %d values, want %d", len(cfg), len(long))
+	}
+	for i, v := range long {
+		if cfg[i] != v {
+			t.Fatalf("stored config corrupted at %d: %v", i, cfg)
+		}
+	}
+	// Shrinking is symmetric: the cell re-fits, never aliases stale tail
+	// values.
+	b.Publish(1, []int{1, 0})
+	if cost, cfg, _ := b.Snapshot(); cost != 1 || len(cfg) != 2 || cfg[0] != 1 || cfg[1] != 0 {
+		t.Fatalf("shrinking publish mishandled: %d %v", cost, cfg)
+	}
+}
+
+// TestYieldedWalkerDistinguishableFromCancelled drives the full engine
+// path: a walker whose board already shows best cost 0 must stop as
+// Yielded — reported Interrupted by the engine, but distinguishable
+// from a context cancel in dependent-run accounting.
+func TestYieldedWalkerDistinguishableFromCancelled(t *testing.T) {
+	factory := func() (core.Problem, error) { return inversionsProblem{n: 24}, nil }
+	board := NewLocalBoard()
+	board.Publish(0, identityPerm(24)) // someone else already won
+	eo := core.Options{MaxIterations: 1000, MaxRuns: 1, CheckEvery: 4}
+	exch := ExchangeOptions{Enabled: true, Period: 4, AdoptFactor: 2}
+	stat, err := runWalker(context.Background(), factory, eo, exch, 0, -1, 11, board, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stat.Yielded {
+		t.Fatalf("walker did not yield to the posted win: %+v", stat)
+	}
+	if !stat.Result.Interrupted {
+		t.Fatalf("yielded walker should surface as Interrupted at the engine level: %+v", stat.Result)
+	}
+	if stat.Result.Iterations >= 1000 {
+		t.Fatalf("yielded walker burned its whole budget: %d iterations", stat.Result.Iterations)
+	}
+
+	// Contrast: a genuinely cancelled walker is Interrupted but NOT
+	// Yielded.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	stat2, err := runWalker(cancelled, factory, eo, exch, 0, -1, 11, NewLocalBoard(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stat2.Result.Interrupted || stat2.Yielded {
+		t.Fatalf("cancelled walker accounting wrong: %+v", stat2)
+	}
+}
+
+// TestSolvedWalkerPublishesWin: a walker that solves must post (0,
+// solution) to the board so siblings (and, through a distributed
+// board, other workers) can stand down.
+func TestSolvedWalkerPublishesWin(t *testing.T) {
+	f := costasFactory(t, 8)
+	eo := tunedEngine(t, "costas", 8)
+	sol := solveOnce(t, f, eo, 5)
+
+	board := NewLocalBoard()
+	eo.InitialConfig = sol // solves on iteration zero
+	exch := ExchangeOptions{Enabled: true, Period: 64, AdoptFactor: 2}
+	stat, err := runWalker(context.Background(), f, eo, exch, 0, -1, 5, board, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stat.Result.Solved {
+		t.Fatalf("walker did not solve from a solved initial config: %+v", stat.Result)
+	}
+	cost, cfg, ok := board.Snapshot()
+	if !ok || cost != 0 || len(cfg) != 8 {
+		t.Fatalf("win not published to board: cost=%d cfg=%v ok=%v", cost, cfg, ok)
+	}
+}
+
+// TestShardedExchangeSharedBoard is the in-process model of the
+// cross-worker scheme: two shards of one job executed separately
+// against one shared Board cooperate — the laggard shard adopts elite
+// configurations published by the leader shard, which a shard-private
+// board could never provide. It also pins the validation rules around
+// Options.Board.
+func TestShardedExchangeSharedBoard(t *testing.T) {
+	factory := func() (core.Problem, error) { return inversionsProblem{n: 24}, nil }
+	engine := core.Options{MaxIterations: 600, MaxRuns: 1, CheckEvery: 4}
+	laggard := engine
+	laggard.Strategy = core.StrategyRandomWalk
+	portfolio := []PortfolioEntry{
+		{Weight: 1, Engine: engine},  // walker 0: adaptive leader
+		{Weight: 1, Engine: laggard}, // walker 1: random-walk laggard
+	}
+	exch := ExchangeOptions{Enabled: true, Period: 4, AdoptFactor: 1.0}
+
+	// Sharded exchange without a shared board stays rejected.
+	noBoard := Options{Walkers: 1, Seed: 99, Portfolio: portfolio,
+		Shard: &Shard{Start: 0, Total: 2}, Exchange: exch}
+	if _, err := Run(context.Background(), factory, noBoard); err == nil {
+		t.Fatal("sharded Exchange without a Board accepted")
+	}
+	// A board without the exchange scheme is a configuration error.
+	if _, err := Run(context.Background(), factory, Options{Walkers: 1, Seed: 99,
+		Engine: engine, Board: NewLocalBoard()}); err == nil {
+		t.Fatal("Board without Exchange accepted")
+	}
+
+	board := NewLocalBoard()
+	shardOpts := func(start int) Options {
+		return Options{Walkers: 1, Seed: 99, Portfolio: portfolio,
+			Shard: &Shard{Start: start, Total: 2}, Exchange: exch, Board: board}
+	}
+	// Leader shard runs first and seeds the board with its descent.
+	s0, err := Run(context.Background(), factory, shardOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Run(context.Background(), factory, shardOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Walkers[0].Adoptions; got == 0 {
+		t.Fatal("laggard shard never adopted the leader shard's elite: the board did not cross the shard boundary")
+	}
+	combined, err := CombineShards(2, s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Adoptions != s0.Adoptions+s1.Adoptions {
+		t.Fatalf("combined Adoptions = %d, want %d", combined.Adoptions, s0.Adoptions+s1.Adoptions)
+	}
+	if combined.Walkers[1].Entry != 1 || combined.Walkers[1].Result.Strategy != core.StrategyRandomWalk {
+		t.Fatalf("walker identity lost in combination: %+v", combined.Walkers[1])
+	}
+}
+
+// identityPerm returns the identity permutation of n values.
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// solveOnce solves the problem sequentially and returns the solution.
+func solveOnce(t *testing.T, f Factory, eo core.Options, seed uint64) []int {
+	t.Helper()
+	p, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo.Seed = seed
+	res, err := core.Solve(context.Background(), p, eo)
+	if err != nil || !res.Solved {
+		t.Fatalf("probe solve failed: %v %+v", err, res)
+	}
+	return res.Solution
+}

@@ -21,8 +21,11 @@
 // dependent multiple-walk scheme with inter-process communication — as
 // an opt-in Exchange policy: walkers periodically publish their cost to
 // a shared board and laggards teleport to a perturbed copy of the best
-// configuration. The paper conjectures (and EXP-A1 confirms) that this
-// is hard pressed to beat the independent scheme.
+// configuration. The board is pluggable (Board), so the same scheme
+// runs across process boundaries: internal/dist connects the walkers of
+// every shard of a distributed job through a coordinator-hosted global
+// board. The paper conjectures (and EXP-A1 confirms) that this is hard
+// pressed to beat the independent scheme.
 //
 // Walks need not be identical: Options.Portfolio assigns weighted
 // shares of the walkers to different engine options — typically
@@ -91,9 +94,21 @@ type Options struct {
 
 	// Exchange enables the dependent multi-walk scheme. The zero value
 	// keeps walks fully independent, as in the paper's experiments.
-	// Exchange requires a single address space (the board is in-process
-	// shared memory) and is therefore rejected for sharded runs.
+	// Exchange needs a shared elite board: a whole-job run gets a
+	// private in-process one automatically, while a sharded run must be
+	// handed the job-wide Board (the shards live in different processes
+	// whose walkers would otherwise cooperate only within their shard).
 	Exchange ExchangeOptions
+
+	// Board, when non-nil, supplies the exchange scheme's shared elite
+	// board in place of the run's private in-process one. This is the
+	// seam that lifts the dependent scheme across process boundaries:
+	// internal/dist passes each worker shard a write-through cache of
+	// the coordinator-hosted global board, so publishes and snapshots
+	// stay in-memory on the hot path and only the cache's background
+	// sync touches the network. Setting Board requires Exchange.Enabled
+	// and is mandatory for sharded exchange runs.
+	Board Board
 
 	// Progress, when non-nil, is invoked from each walker every
 	// Engine.CheckEvery iterations with the walker index, the walker's
@@ -156,6 +171,25 @@ type ExchangeOptions struct {
 	PerturbSwaps int
 }
 
+// Validate checks the exchange tuning invariants, treating 0 as "use
+// the default" for every field: Period and PerturbSwaps must be
+// non-negative, AdoptFactor must be 0 or >= 1 (NaN rejected). This is
+// the single validator every admitting layer shares — the run options
+// here, the dist wire protocol, the solve service — so the layers
+// cannot drift on what is admissible.
+func (x *ExchangeOptions) Validate() error {
+	if x.Period < 0 {
+		return errors.New("multiwalk: Exchange.Period must be >= 0")
+	}
+	if math.IsNaN(x.AdoptFactor) || (x.AdoptFactor != 0 && x.AdoptFactor < 1) {
+		return errors.New("multiwalk: Exchange.AdoptFactor must be >= 1 (or 0 for the default)")
+	}
+	if x.PerturbSwaps < 0 {
+		return errors.New("multiwalk: Exchange.PerturbSwaps must be >= 0")
+	}
+	return nil
+}
+
 // WalkerStat reports one walker's outcome.
 type WalkerStat struct {
 	// Walker is the walker index in [0, k).
@@ -176,6 +210,12 @@ type WalkerStat struct {
 	// actually executing the teleport, so the count is an upper bound
 	// in that (unusual) combination.
 	Adoptions int64
+	// Yielded reports that the walker stopped itself because the
+	// exchange board showed the job solved elsewhere (best cost 0).
+	// Such a walker also carries Result.Interrupted, but it was not
+	// cancelled: dependent-run accounting uses Yielded to separate
+	// "stood down after someone won" from "cut short by the caller".
+	Yielded bool
 }
 
 // Result aggregates a multi-walk run.
@@ -195,6 +235,10 @@ type Result struct {
 	// TotalIterations sums iterations across all walkers (the parallel
 	// work, as opposed to the parallel time).
 	TotalIterations int64
+	// Adoptions sums elite-configuration adoptions across all walkers.
+	// Zero for independent runs; for dependent (Exchange) runs it is
+	// the communication scheme's activity measure.
+	Adoptions int64
 	// Walkers holds per-walker statistics in walker order. For a
 	// whole-job run the slice index equals WalkerStat.Walker; a shard
 	// result covers only its sub-range, with the global identity in
@@ -246,9 +290,12 @@ func (o *Options) validate() error {
 		if o.Shard.Start < 0 || o.Shard.Total < 1 || o.Shard.Start > o.Shard.Total-o.Walkers {
 			return fmt.Errorf("multiwalk: shard start=%d walkers=%d outside job of %d walkers", o.Shard.Start, o.Walkers, o.Shard.Total)
 		}
-		if o.Exchange.Enabled {
-			return errors.New("multiwalk: Exchange requires a single address space; it is not supported for sharded runs")
+		if o.Exchange.Enabled && o.Board == nil {
+			return errors.New("multiwalk: sharded Exchange needs the job-wide shared Board (Options.Board); a shard-private board would split the cooperative scheme at process boundaries")
 		}
+	}
+	if o.Board != nil && !o.Exchange.Enabled {
+		return errors.New("multiwalk: Board is set but Exchange is not enabled")
 	}
 	total := o.total()
 	prefix := 0
@@ -275,20 +322,14 @@ func (o *Options) validate() error {
 		}
 	}
 	if o.Exchange.Enabled {
+		if err := o.Exchange.Validate(); err != nil {
+			return err
+		}
 		if o.Exchange.Period == 0 {
 			o.Exchange.Period = 1024
 		}
-		if o.Exchange.Period < 0 {
-			return errors.New("multiwalk: Exchange.Period must be >= 0")
-		}
 		if o.Exchange.AdoptFactor == 0 {
 			o.Exchange.AdoptFactor = 2.0
-		}
-		if o.Exchange.AdoptFactor < 1 {
-			return errors.New("multiwalk: Exchange.AdoptFactor must be >= 1")
-		}
-		if o.Exchange.PerturbSwaps < 0 {
-			return errors.New("multiwalk: Exchange.PerturbSwaps must be >= 0")
 		}
 	}
 	return nil
@@ -311,9 +352,9 @@ func Run(ctx context.Context, factory Factory, opts Options) (Result, error) {
 
 	seeds := walkerSeeds(opts.Seed, opts.total())
 	pattern := portfolioPattern(opts.Portfolio, opts.total())
-	var board *exchangeBoard
-	if opts.Exchange.Enabled {
-		board = newExchangeBoard()
+	board := opts.Board
+	if board == nil && opts.Exchange.Enabled {
+		board = NewLocalBoard()
 	}
 
 	start := time.Now()
@@ -492,7 +533,7 @@ func (o *Options) engineFor(pattern []int, w int) (core.Options, int) {
 // caller's engine Monitor; every link runs each poll and the
 // directives merge (any Stop stops, any Restart restarts, the first
 // SetConfig wins).
-func runWalker(ctx context.Context, factory Factory, eo core.Options, exch ExchangeOptions, w, entry int, seed uint64, board *exchangeBoard, progress func(int, int64, int)) (WalkerStat, error) {
+func runWalker(ctx context.Context, factory Factory, eo core.Options, exch ExchangeOptions, w, entry int, seed uint64, board Board, progress func(int, int64, int)) (WalkerStat, error) {
 	p, err := factory()
 	if err != nil {
 		return WalkerStat{}, fmt.Errorf("multiwalk: walker %d factory: %w", w, err)
@@ -505,7 +546,18 @@ func runWalker(ctx context.Context, factory Factory, eo core.Options, exch Excha
 	// that happens to teleport on the same poll.
 	monitors := make([]func(int64, int, []int) core.Directive, 0, 3)
 	if board != nil {
-		monitors = append(monitors, board.monitor(&stat, exch, p.Size(), seed))
+		// The engine polls its Monitor only every CheckEvery iterations,
+		// so an Exchange.Period below that would silently degrade to
+		// CheckEvery. Tighten the poll period to the exchange period so
+		// the requested cadence is honored; independent walkers (no
+		// board) keep their options untouched.
+		if eo.CheckEvery == 0 {
+			eo.CheckEvery = core.DefaultCheckEvery
+		}
+		if exch.Period < int64(eo.CheckEvery) {
+			eo.CheckEvery = int(exch.Period)
+		}
+		monitors = append(monitors, boardMonitor(board, &stat, exch, p.Size(), seed))
 	}
 	if progress != nil {
 		monitors = append(monitors, func(iter int64, cost int, _ []int) core.Directive {
@@ -520,6 +572,16 @@ func runWalker(ctx context.Context, factory Factory, eo core.Options, exch Excha
 	res, err := core.Solve(ctx, p, eo)
 	if err != nil {
 		return WalkerStat{}, fmt.Errorf("multiwalk: walker %d: %w", w, err)
+	}
+	if board != nil && res.Solved {
+		// Post the win to the board. The monitor only ever publishes
+		// costs observed mid-search (all > 0, since a solved engine
+		// exits its loop before the next poll), so without this the
+		// board could never reach best 0 and the solved-elsewhere stop
+		// path would stay dead; with it, sibling walkers — including
+		// ones on other workers, via a distributed board — stand down
+		// as soon as the win propagates.
+		board.Publish(0, res.Solution)
 	}
 	stat.Result = res
 	return stat, nil
@@ -555,6 +617,7 @@ func aggregate(stats []WalkerStat, winner func([]WalkerStat) int) Result {
 	res := Result{Winner: -1, Walkers: stats}
 	for _, s := range stats {
 		res.TotalIterations += s.Result.Iterations
+		res.Adoptions += s.Adoptions
 	}
 	if w := winner(stats); w >= 0 {
 		res.Solved = true

@@ -249,38 +249,38 @@ func TestWalkerSeedsPrefixStableAndDistinct(t *testing.T) {
 }
 
 func TestBoardPublishSnapshot(t *testing.T) {
-	b := newExchangeBoard()
-	if _, _, ok := b.snapshot(); ok {
+	b := NewLocalBoard()
+	if _, _, ok := b.Snapshot(); ok {
 		t.Fatal("empty board reported valid state")
 	}
-	b.publish(10, []int{2, 0, 1})
-	cost, cfg, ok := b.snapshot()
+	b.Publish(10, []int{2, 0, 1})
+	cost, cfg, ok := b.Snapshot()
 	if !ok || cost != 10 || len(cfg) != 3 {
 		t.Fatalf("snapshot = %d %v %v", cost, cfg, ok)
 	}
-	b.publish(20, []int{0, 1, 2}) // worse: must not replace
-	cost, cfg, _ = b.snapshot()
+	b.Publish(20, []int{0, 1, 2}) // worse: must not replace
+	cost, cfg, _ = b.Snapshot()
 	if cost != 10 || cfg[0] != 2 {
 		t.Fatalf("worse publish replaced best: %d %v", cost, cfg)
 	}
-	b.publish(5, []int{1, 2, 0})
-	cost, cfg, _ = b.snapshot()
+	b.Publish(5, []int{1, 2, 0})
+	cost, cfg, _ = b.Snapshot()
 	if cost != 5 || cfg[0] != 1 {
 		t.Fatalf("better publish ignored: %d %v", cost, cfg)
 	}
 	// Snapshot must return a private copy.
 	cfg[0] = 99
-	_, cfg2, _ := b.snapshot()
+	_, cfg2, _ := b.Snapshot()
 	if cfg2[0] == 99 {
 		t.Fatal("snapshot aliases board state")
 	}
 }
 
 func TestMonitorDirectives(t *testing.T) {
-	b := newExchangeBoard()
+	b := NewLocalBoard()
 	stat := &WalkerStat{}
 	x := ExchangeOptions{Enabled: true, Period: 100, AdoptFactor: 2, PerturbSwaps: 2}
-	mon := b.monitor(stat, x, 8, 42)
+	mon := boardMonitor(b, stat, x, 8, 42)
 
 	cfg := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	// First call publishes my state; board best = my cost: no directive.
@@ -292,7 +292,7 @@ func TestMonitorDirectives(t *testing.T) {
 		t.Fatalf("period not honored: %+v", d)
 	}
 	// Another walker posts a much better cost; I should adopt.
-	b.publish(3, []int{7, 6, 5, 4, 3, 2, 1, 0})
+	b.Publish(3, []int{7, 6, 5, 4, 3, 2, 1, 0})
 	d := mon(250, 10, cfg)
 	if d.SetConfig == nil {
 		t.Fatalf("lagging walker did not adopt: %+v", d)
@@ -303,10 +303,14 @@ func TestMonitorDirectives(t *testing.T) {
 	if stat.Adoptions != 1 {
 		t.Fatalf("Adoptions = %d, want 1", stat.Adoptions)
 	}
-	// Someone solved: I should stop.
-	b.publish(0, []int{7, 6, 5, 4, 3, 2, 1, 0})
+	// Someone solved: I should stop, and the stat must record the stop
+	// as a yield (solved elsewhere), not look like an external cancel.
+	b.Publish(0, []int{7, 6, 5, 4, 3, 2, 1, 0})
 	if d := mon(400, 10, cfg); !d.Stop {
 		t.Fatalf("walker did not stop after a solution was posted: %+v", d)
+	}
+	if !stat.Yielded {
+		t.Fatal("solved-elsewhere stop did not mark the walker Yielded")
 	}
 }
 

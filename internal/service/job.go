@@ -81,6 +81,14 @@ type Request struct {
 	// Portfolio, when non-empty, runs a heterogeneous portfolio and
 	// takes precedence over Strategy.
 	Portfolio []PortfolioSpec `json:"portfolio,omitempty"`
+	// Exchange, when non-nil and Enabled, runs the job in the dependent
+	// (communicating) multi-walk scheme: walkers publish their best to
+	// a shared elite board and laggards teleport to perturbed elites.
+	// On a distributed backend the board is coordinator-hosted and
+	// cooperation crosses worker processes. Dependent runs are
+	// timing-dependent; independent jobs (the default) keep their
+	// bit-for-bit reproducibility.
+	Exchange *ExchangeSpec `json:"exchange,omitempty"`
 	// MaxIterations bounds each walker run; 0 keeps the tuned default.
 	MaxIterations int64 `json:"max_iterations,omitempty"`
 	// MaxRuns bounds restarts per walker; 0 keeps the tuned default
@@ -96,6 +104,16 @@ type Request struct {
 type PortfolioSpec struct {
 	Strategy string `json:"strategy"`
 	Weight   int    `json:"weight,omitempty"`
+}
+
+// ExchangeSpec tunes the dependent multi-walk scheme for one job. The
+// zero value of each field selects the multiwalk default (period 1024,
+// adopt factor 2.0, perturbation max(2, n/16)).
+type ExchangeSpec struct {
+	Enabled      bool    `json:"enabled"`
+	PeriodIters  int64   `json:"period_iters,omitempty"`
+	AdoptFactor  float64 `json:"adopt_factor,omitempty"`
+	PerturbSwaps int     `json:"perturb_swaps,omitempty"`
 }
 
 // Job is an immutable snapshot of a job's state, safe to retain and
@@ -122,6 +140,13 @@ type JobResult struct {
 	CompletedWalkers int    `json:"completed_walkers"`
 	Truncated        bool   `json:"truncated"`
 	ElapsedMS        int64  `json:"elapsed_ms"`
+	// Adoptions counts elite-configuration adoptions across all
+	// walkers (dependent runs only; always 0 for independent jobs).
+	Adoptions int64 `json:"adoptions,omitempty"`
+	// YieldedWalkers counts walkers that stood down because the board
+	// showed the job solved elsewhere — distinguishable from walkers
+	// interrupted by cancellation.
+	YieldedWalkers int `json:"yielded_walkers,omitempty"`
 }
 
 // condenseResult maps the multiwalk result into the transport shape.
@@ -145,6 +170,12 @@ func condenseResult(res *multiwalk.Result) *JobResult {
 		CompletedWalkers: res.Completed,
 		Truncated:        res.Truncated,
 		ElapsedMS:        res.Elapsed.Milliseconds(),
+		Adoptions:        res.Adoptions,
+	}
+	for _, ws := range res.Walkers {
+		if ws.Yielded {
+			jr.YieldedWalkers++
+		}
 	}
 	if res.Winner >= 0 && res.Winner < len(res.Walkers) {
 		jr.WinnerStrategy = res.Walkers[res.Winner].Result.Strategy
@@ -206,6 +237,19 @@ func (s *Scheduler) normalizeRequest(req *Request) (problems.Factory, multiwalk.
 		Walkers: req.Walkers,
 		Seed:    req.Seed,
 		Engine:  engine,
+	}
+	if req.Exchange != nil && req.Exchange.Enabled {
+		opts.Exchange = multiwalk.ExchangeOptions{
+			Enabled:      true,
+			Period:       req.Exchange.PeriodIters,
+			AdoptFactor:  req.Exchange.AdoptFactor,
+			PerturbSwaps: req.Exchange.PerturbSwaps,
+		}
+		// multiwalk's shared exchange validator at admission time, so a
+		// degenerate configuration is a 400, not a late job failure.
+		if err := opts.Exchange.Validate(); err != nil {
+			return nil, zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
 	}
 	prefix := 0
 	for i, spec := range req.Portfolio {

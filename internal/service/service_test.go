@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/multiwalk"
 )
 
 // fastReq is a request that solves in milliseconds.
@@ -457,5 +459,62 @@ func TestSlotAccountingAcrossWalkerCounts(t *testing.T) {
 	final := waitForState(t, s, small.ID, StateSolved)
 	if final.Result == nil || !final.Result.Solved {
 		t.Fatalf("small job did not solve after slots freed: %+v", final)
+	}
+}
+
+func TestExchangeJobRunsAndValidates(t *testing.T) {
+	s := newTestScheduler(t, Config{Slots: 4})
+
+	// A dependent (exchange) job reaches a terminal solved state on the
+	// local backend and surfaces its adoption accounting.
+	job, err := s.SubmitWait(context.Background(), Request{
+		Problem: "costas", Size: 9, Walkers: 2, Seed: 11, TimeoutMS: 30_000,
+		Exchange: &ExchangeSpec{Enabled: true, PeriodIters: 64, AdoptFactor: 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateSolved {
+		t.Fatalf("exchange job state = %s (%+v)", job.State, job)
+	}
+	if job.Request.Exchange == nil || !job.Request.Exchange.Enabled {
+		t.Fatalf("exchange spec not echoed in the job request: %+v", job.Request)
+	}
+
+	// The dependent-run accounting must survive condensation into the
+	// transport shape: Adoptions is copied through and Yielded walkers
+	// are counted.
+	jr := condenseResult(&multiwalk.Result{
+		Adoptions: 7,
+		Walkers: []multiwalk.WalkerStat{
+			{Walker: 0, Adoptions: 7},
+			{Walker: 1, Yielded: true},
+		},
+	})
+	if jr.Adoptions != 7 || jr.YieldedWalkers != 1 {
+		t.Fatalf("exchange accounting lost in condenseResult: %+v", jr)
+	}
+
+	// Degenerate exchange tuning is a 400-class admission error, not a
+	// late job failure.
+	bad := []ExchangeSpec{
+		{Enabled: true, PeriodIters: -1},
+		{Enabled: true, AdoptFactor: 0.5},
+		{Enabled: true, PerturbSwaps: -1},
+	}
+	for _, x := range bad {
+		spec := x
+		if _, err := s.Submit(Request{Problem: "costas", Size: 8, Walkers: 1, Exchange: &spec}); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("bad exchange spec %+v admitted: %v", spec, err)
+		}
+	}
+
+	// A disabled spec is inert: the job stays an independent run.
+	job2, err := s.SubmitWait(context.Background(), Request{
+		Problem: "costas", Size: 8, Walkers: 1, Seed: 3, TimeoutMS: 30_000,
+		Exchange: &ExchangeSpec{Enabled: false, AdoptFactor: 0.5}, // tuning ignored when disabled
+	})
+	if err != nil || job2.State != StateSolved {
+		t.Fatalf("disabled exchange spec broke an independent job: %v %+v", err, job2)
 	}
 }

@@ -184,10 +184,12 @@ func (s *Sample) Speedup(k int) (float64, error) {
 	return s.Mean() / em, nil
 }
 
-// MonteCarloMin estimates E[min_k] by drawing reps random k-subsets
-// (with replacement across reps, without replacement within a draw is
-// not needed for an i.i.d. model — plain resampling is used). It serves
-// as a cross-check of the exact estimator in tests.
+// MonteCarloMin estimates E[min_k] by Monte Carlo: it draws reps
+// random k-element samples — each element picked uniformly from the
+// data with replacement, since under the i.i.d. runtime model the
+// estimator targets, distinct-index draws would change nothing — and
+// averages the per-draw minima. It serves as a cross-check of the
+// exact ExpectedMin estimator in tests.
 func (s *Sample) MonteCarloMin(k, reps int, r *rng.Rand) (float64, error) {
 	if k < 1 || reps < 1 {
 		return 0, fmt.Errorf("stats: MonteCarloMin needs k >= 1 and reps >= 1")
