@@ -46,8 +46,14 @@ func run() error {
 		benchThreshold = flag.Float64("bench-threshold", 0.25, "allowed fractional iteration-rate drop vs the -bench-compare baseline")
 		benchRelative  = flag.Bool("bench-relative", false, "normalize the -bench-compare ratios by their suite-wide median, cancelling machine-speed differences (for CI gating against a baseline measured elsewhere)")
 		benchMarkdown  = flag.Bool("bench-md", false, "also print the -bench-json results as the README's markdown table")
+
+		ftdcDecode = flag.String("ftdc-decode", "", "decode an FTDC-style telemetry file (cmd/serve -telemetry, cmd/worker -telemetry) to CSV on stdout (skips the experiment suite)")
 	)
 	flag.Parse()
+
+	if *ftdcDecode != "" {
+		return runFTDCDecode(*ftdcDecode)
+	}
 
 	scale, err := bench.ParseScale(*scaleStr)
 	if err != nil {

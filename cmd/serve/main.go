@@ -26,6 +26,20 @@
 //	GET  /metrics               scheduler counters (JSON)
 //	GET  /debug/vars            process-wide expvar (memstats etc.)
 //
+// With -stream, the server additionally opens the persistent binary
+// streaming control plane (internal/wire): a job-progress stream
+// listener clients discover through /healthz ("stream_addr") and
+// subscribe to instead of polling GET /v1/jobs/{id}, and — under
+// -workers — streaming board sync, where each worker holds one
+// multiplexed TCP connection to the coordinator's board instead of
+// the periodic POST loop. HTTP stays as the fallback transport either
+// way (see DESIGN.md §11).
+//
+// With -telemetry FILE, a background sampler appends FTDC-style
+// schema-delta-encoded scheduler metrics (and, under -workers, board
+// traffic counters) to FILE every -telemetry-interval; decode offline
+// with `experiments -ftdc-decode FILE`.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener drains,
 // then the scheduler cancels queued and running jobs and waits for
 // every walker goroutine to exit.
@@ -41,12 +55,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -68,16 +84,28 @@ func run() error {
 		boardAddr      = flag.String("board-addr", "", "exchange-board listen address for distributed dependent runs (empty = 127.0.0.1:0; the server starts lazily on the first exchange job)")
 		boardAdvertise = flag.String("board-advertise", "", "base URL workers use to reach the exchange board (empty = derived from the board listener; set it when workers are on other hosts)")
 		boardSync      = flag.Duration("board-sync", 0, "worker board-cache sync period for dependent runs (0 = 50ms)")
+		stream         = flag.Bool("stream", false, "enable the persistent binary streaming control plane: job-progress streaming plus, with -workers, streaming board sync")
+		streamAddr     = flag.String("stream-addr", "", "job-progress stream listen address (empty = 127.0.0.1:0)")
+		streamAdv      = flag.String("stream-advertise", "", "host:port clients use to reach the progress stream (empty = derived from the stream listener; set it when clients are on other hosts)")
+		boardStream    = flag.String("board-stream-addr", "", "board stream listen address for -stream -workers fleets (empty = 127.0.0.1:0; started lazily on the first exchange job)")
+		telemetryPath  = flag.String("telemetry", "", "append FTDC-style telemetry frames to this file (empty = off)")
+		telemetryEvery = flag.Duration("telemetry-interval", time.Second, "telemetry sampling period")
 	)
 	flag.Parse()
 
+	streaming := *stream
+
 	var backend service.Backend
+	var coord *dist.Coordinator
 	if *workers != "" {
-		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		var err error
+		coord, err = dist.NewCoordinator(dist.CoordinatorConfig{
 			Workers:        strings.Split(*workers, ","),
 			BoardAddr:      *boardAddr,
 			BoardAdvertise: *boardAdvertise,
 			BoardSync:      *boardSync,
+			Stream:         streaming,
+			StreamAddr:     *boardStream,
 		})
 		if err != nil {
 			return err
@@ -97,6 +125,33 @@ func run() error {
 		Backend:        backend,
 	})
 	expvar.Publish("scheduler", expvar.Func(func() any { return sched.Stats() }))
+
+	if streaming {
+		sv, err := service.NewStreamServer(sched, *streamAddr)
+		if err != nil {
+			sched.Close()
+			return err
+		}
+		defer sv.Close()
+		adv := *streamAdv
+		if adv == "" {
+			adv = sv.Addr()
+		}
+		sched.SetStreamAddr(adv)
+		log.Printf("serve: progress stream on %s (advertised %s)", sv.Addr(), adv)
+	}
+
+	if *telemetryPath != "" {
+		f, err := os.Create(*telemetryPath)
+		if err != nil {
+			sched.Close()
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer f.Close()
+		stopTelem := startTelemetry(f, *telemetryEvery, sched, coord)
+		defer stopTelem()
+		log.Printf("serve: telemetry -> %s every %v", *telemetryPath, *telemetryEvery)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(sched))
@@ -133,4 +188,60 @@ func run() error {
 	sched.Close()
 	log.Printf("serve: drained cleanly")
 	return nil
+}
+
+// startTelemetry spawns the FTDC-style sampler: one schema-delta
+// encoded sample of the scheduler's counters (plus the coordinator's
+// board traffic, when distributed) per period. Names are sorted so
+// the schema stays stable and samples delta-compress to a few bytes
+// when the server idles.
+func startTelemetry(f *os.File, every time.Duration, sched *service.Scheduler, coord *dist.Coordinator) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	rec := telemetry.NewRecorder(f)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	sample := func() {
+		st := sched.Stats()
+		metrics := []telemetry.Metric{
+			{Name: "adoptions_total", Value: st.Adoptions},
+			{Name: "iterations_total", Value: st.Iterations},
+			{Name: "jobs_running", Value: st.JobsRunning},
+			{Name: "jobs_submitted", Value: st.JobsSubmitted},
+			{Name: "queue_depth", Value: int64(st.QueueDepth)},
+			{Name: "slots_busy", Value: int64(st.SlotsBusy)},
+			{Name: "yielded_total", Value: st.Yielded},
+		}
+		if coord != nil {
+			rx, tx := coord.BoardTraffic()
+			metrics = append(metrics,
+				telemetry.Metric{Name: "board_http_syncs", Value: coord.BoardHTTPSyncs()},
+				telemetry.Metric{Name: "board_rx_bytes", Value: rx},
+				telemetry.Metric{Name: "board_tx_bytes", Value: tx},
+			)
+		}
+		sort.Slice(metrics, func(i, j int) bool { return metrics[i].Name < metrics[j].Name })
+		if err := rec.Record(time.Now(), metrics); err != nil {
+			log.Printf("serve: telemetry: %v", err)
+		}
+	}
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				sample() // final sample so short runs still record
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }

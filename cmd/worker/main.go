@@ -6,6 +6,16 @@
 // Usage:
 //
 //	worker -addr :9101 -slots 4
+//	worker -addr :9101 -slots 4 -stream -telemetry worker.ftdc
+//
+// With -stream, dependent (exchange) shard runs negotiate streaming
+// board sync: the worker keeps one persistent multiplexed binary
+// connection to the coordinator's board and publishes deltas on
+// change, instead of the periodic HTTP POST loop. A dead stream falls
+// back to HTTP mid-run and re-dials on the next run. With -telemetry
+// FILE, per-walker iteration/cost samples are appended to FILE in the
+// FTDC-style schema-delta encoding (decode with `experiments
+// -ftdc-decode FILE`).
 //
 // Endpoints:
 //
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,13 +53,27 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":9101", "listen address")
-		slots     = flag.Int("slots", 0, "walker-slot capacity (0 = GOMAXPROCS)")
-		boardSync = flag.Duration("board-sync", 0, "fallback board-cache sync period for dependent (exchange) shard runs when the coordinator does not pin one (0 = 50ms)")
+		addr           = flag.String("addr", ":9101", "listen address")
+		slots          = flag.Int("slots", 0, "walker-slot capacity (0 = GOMAXPROCS)")
+		boardSync      = flag.Duration("board-sync", 0, "fallback board-cache sync period for dependent (exchange) shard runs when the coordinator does not pin one (0 = 50ms)")
+		stream         = flag.Bool("stream", false, "enable streaming board sync over the persistent binary transport (HTTP remains the fallback)")
+		telemetryPath  = flag.String("telemetry", "", "append FTDC-style per-walker telemetry frames to this file (empty = off)")
+		telemetryEvery = flag.Duration("telemetry-interval", time.Second, "telemetry sampling period")
 	)
 	flag.Parse()
 
-	wk := dist.NewWorker(dist.WorkerConfig{Slots: *slots, BoardSync: *boardSync})
+	cfg := dist.WorkerConfig{Slots: *slots, BoardSync: *boardSync, Stream: *stream, TelemetryInterval: *telemetryEvery}
+	if *telemetryPath != "" {
+		f, err := os.Create(*telemetryPath)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer f.Close()
+		cfg.Telemetry = telemetry.NewRecorder(f)
+		log.Printf("worker: telemetry -> %s every %v", *telemetryPath, *telemetryEvery)
+	}
+
+	wk := dist.NewWorker(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           wk.Handler(),

@@ -28,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"sort"
 	"sync"
@@ -38,6 +40,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // scenario is one entry of the mixed workload.
@@ -91,6 +94,7 @@ func run() error {
 		asyncEvery  = flag.Int("async-every", 5, "poll instead of wait for every n-th job (0 = always wait)")
 		seed        = flag.Int64("seed", 1, "workload shuffle seed")
 		exchange    = flag.Bool("exchange", false, "run multi-walker scenarios in dependent (exchange) mode — on a dist backend, walkers cooperate across worker processes")
+		stream      = flag.Bool("stream", false, "await async jobs over the persistent binary progress stream instead of GET polling (with -inprocess, also stands the stream listener up; against -addr, discovered via /healthz stream_addr)")
 	)
 	flag.Parse()
 
@@ -111,9 +115,22 @@ func run() error {
 			fmt.Printf("in-process fleet: %d workers x %d slots\n", *distWorkers, *distSlots)
 		}
 		sched := service.New(service.Config{Slots: *slots, QueueDepth: *queueDepth, Backend: backend})
+		var streamSrv *service.StreamServer
+		if *stream {
+			var err error
+			streamSrv, err = service.NewStreamServer(sched, "")
+			if err != nil {
+				sched.Close()
+				return err
+			}
+			sched.SetStreamAddr(streamSrv.Addr())
+		}
 		srv := httptest.NewServer(service.NewHandler(sched))
 		defer func() {
 			srv.Close()
+			if streamSrv != nil {
+				streamSrv.Close()
+			}
 			sched.Close() // closes the coordinator backend too
 			if fleetDown != nil {
 				fleetDown()
@@ -130,9 +147,25 @@ func run() error {
 	// Clamp scenario walker counts to the server's pool size (a
 	// k-walker job needs k slots) so the mix adapts to any machine —
 	// single-core CI included.
-	poolSlots, err := serverSlots(client, base)
+	poolSlots, streamAddr, err := serverHealth(client, base)
 	if err != nil {
 		return fmt.Errorf("probing %s/healthz: %w", base, err)
+	}
+
+	// Streaming transport: one persistent multiplexed connection awaits
+	// every async job's terminal event; polling stays the fallback if
+	// the server does not advertise a stream or the connection dies.
+	var streamCli *streamClient
+	if *stream {
+		if streamAddr == "" {
+			return fmt.Errorf("-stream: server %s advertises no stream_addr (start serve with -stream)", base)
+		}
+		streamCli, err = dialStream(resolveStreamAddr(base, streamAddr))
+		if err != nil {
+			return fmt.Errorf("-stream: dialing %s: %w", streamAddr, err)
+		}
+		defer streamCli.close()
+		fmt.Printf("progress stream connected: %s\n", streamAddr)
 	}
 	mix := scenarios(*timeoutMS, *exchange)
 	for _, sc := range mix {
@@ -164,6 +197,7 @@ func run() error {
 		retries   atomic.Int64
 		dropped   atomic.Int64
 		failures  atomic.Int64
+		transport transportMix
 	)
 
 	start := time.Now()
@@ -177,7 +211,7 @@ func run() error {
 				sc := mix[order[i]]
 				wait := *asyncEvery == 0 || i%*asyncEvery != 0
 				t0 := time.Now()
-				job, nRetries, err := submit(client, base, sc, uint64(i+1), wait)
+				job, nRetries, err := submit(client, base, sc, uint64(i+1), wait, streamCli, &transport)
 				lat := time.Since(t0)
 				retries.Add(int64(nRetries))
 				if err != nil {
@@ -210,7 +244,7 @@ func run() error {
 		resp.Body.Close()
 	}
 
-	report(*jobs, elapsed, latencies, outcomes, perScen, stats, retries.Load())
+	report(*jobs, elapsed, latencies, outcomes, perScen, stats, retries.Load(), &transport)
 
 	if d := dropped.Load(); d > 0 {
 		return fmt.Errorf("%d of %d jobs dropped", d, *jobs)
@@ -252,29 +286,56 @@ func inprocessFleet(n, slotsEach int) (service.Backend, func(), error) {
 	return coord, down, nil
 }
 
-// serverSlots reads the walker-slot pool size from /healthz.
-func serverSlots(client *http.Client, base string) (int, error) {
+// serverHealth reads the walker-slot pool size and the advertised
+// progress-stream address (if any) from /healthz.
+func serverHealth(client *http.Client, base string) (int, string, error) {
 	resp, err := client.Get(base + "/healthz")
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	var health struct {
-		Slots int `json:"slots"`
+		Slots      int    `json:"slots"`
+		StreamAddr string `json:"stream_addr"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if health.Slots < 1 {
-		return 0, fmt.Errorf("server reports %d slots", health.Slots)
+		return 0, "", fmt.Errorf("server reports %d slots", health.Slots)
 	}
-	return health.Slots, nil
+	return health.Slots, health.StreamAddr, nil
+}
+
+// resolveStreamAddr makes an advertised stream address dialable: a
+// listener bound to a wildcard host advertises an unspecified address,
+// which is rewritten to the host the HTTP base URL already reaches.
+func resolveStreamAddr(base, addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		if u, err := url.Parse(base); err == nil && u.Hostname() != "" {
+			return net.JoinHostPort(u.Hostname(), port)
+		}
+	}
+	return addr
+}
+
+// transportMix counts how each job reached its terminal state.
+type transportMix struct {
+	waited   atomic.Int64 // synchronous {"wait": true}
+	streamed atomic.Int64 // async, awaited over the progress stream
+	polled   atomic.Int64 // async, GET polling (fallback or -stream off)
 }
 
 // submit runs one job to a terminal state: synchronously via
-// {"wait": true}, or asynchronously with polling. 429 responses are
-// retried with linear backoff and reported in the retry counter.
-func submit(client *http.Client, base string, sc scenario, seed uint64, wait bool) (service.Job, int, error) {
+// {"wait": true}, or asynchronously — awaited over the progress stream
+// when one is connected, with jittered-exponential-backoff GET polling
+// as the fallback. 429 responses are retried with backoff and reported
+// in the retry counter.
+func submit(client *http.Client, base string, sc scenario, seed uint64, wait bool, stream *streamClient, mix *transportMix) (service.Job, int, error) {
 	req := make(map[string]any, len(sc.req)+2)
 	for k, v := range sc.req {
 		req[k] = v
@@ -304,6 +365,7 @@ func submit(client *http.Client, base string, sc scenario, seed uint64, wait boo
 			return service.Job{}, retries, decodeErr
 		}
 		if wait && resp.StatusCode == http.StatusOK {
+			mix.waited.Add(1)
 			return job, retries, nil
 		}
 		if !wait && resp.StatusCode == http.StatusAccepted {
@@ -312,7 +374,23 @@ func submit(client *http.Client, base string, sc scenario, seed uint64, wait boo
 		return service.Job{}, retries, fmt.Errorf("unexpected status %d: %+v", resp.StatusCode, job)
 	}
 
-	// Async path: poll until terminal.
+	// Async path, streaming transport first: subscribe and block for
+	// the terminal event — zero polling requests. A dead or missing
+	// stream degrades to the polling loop below.
+	if stream != nil {
+		if final, err := stream.await(job.ID); err == nil {
+			mix.streamed.Add(1)
+			return final, retries, nil
+		}
+	}
+
+	// Polling fallback: jittered exponential backoff, starting tight
+	// (most jobs in the mix finish in milliseconds) and capping at
+	// 250ms so long jobs do not hammer the server. The jitter factor in
+	// [0.5, 1.5) de-synchronizes the concurrent client workers.
+	mix.polled.Add(1)
+	backoff := 2 * time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
 	for {
 		resp, err := client.Get(base + "/v1/jobs/" + job.ID)
 		if err != nil {
@@ -329,11 +407,104 @@ func submit(client *http.Client, base string, sc scenario, seed uint64, wait boo
 		if job.State.Terminal() {
 			return job, retries, nil
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(time.Duration(float64(backoff) * (0.5 + rand.Float64())))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 }
 
-func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[service.State]int, perScen map[string]int, stats service.Stats, retries int64) {
+// streamClient is loadgen's end of the job-progress stream: one
+// multiplexed connection shared by every client worker, a reader
+// goroutine routing terminal frames to per-job waiters. Any failure
+// marks the client dead and wakes every waiter with an error; their
+// jobs (and all later ones) fall back to HTTP polling.
+type streamClient struct {
+	conn *wire.Conn
+
+	mu      sync.Mutex
+	waiters map[string]chan service.Job
+
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+func dialStream(addr string) (*streamClient, error) {
+	conn, err := wire.Dial(addr, "loadgen", 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sc := &streamClient{
+		conn:    conn,
+		waiters: make(map[string]chan service.Job),
+		dead:    make(chan struct{}),
+	}
+	go sc.readLoop()
+	return sc, nil
+}
+
+func (sc *streamClient) readLoop() {
+	for {
+		typ, payload, err := sc.conn.ReadFrame()
+		if err != nil {
+			sc.fail()
+			return
+		}
+		if typ != wire.TypeProgress {
+			continue
+		}
+		p, err := wire.DecodeProgress(payload)
+		if err != nil {
+			sc.fail()
+			return
+		}
+		if !p.Terminal {
+			continue // milestone events; loadgen only needs the outcome
+		}
+		sc.mu.Lock()
+		ch := sc.waiters[p.Job]
+		delete(sc.waiters, p.Job)
+		sc.mu.Unlock()
+		if ch != nil {
+			ch <- service.JobFromProgress(&p)
+		}
+	}
+}
+
+// await subscribes to one job and blocks until its terminal event.
+func (sc *streamClient) await(jobID string) (service.Job, error) {
+	ch := make(chan service.Job, 1)
+	sc.mu.Lock()
+	sc.waiters[jobID] = ch
+	sc.mu.Unlock()
+	if err := sc.conn.WriteSubscribe(jobID); err != nil {
+		sc.fail()
+		return service.Job{}, err
+	}
+	select {
+	case job := <-ch:
+		if !job.State.Terminal() {
+			// A terminal error frame without a state (unknown/evicted
+			// job): let the caller poll for the authoritative answer.
+			return service.Job{}, fmt.Errorf("stream: %s", job.Error)
+		}
+		return job, nil
+	case <-sc.dead:
+		return service.Job{}, fmt.Errorf("stream connection lost")
+	}
+}
+
+func (sc *streamClient) fail() {
+	sc.deadOnce.Do(func() { close(sc.dead) })
+	_ = sc.conn.Close()
+	sc.mu.Lock()
+	sc.waiters = make(map[string]chan service.Job)
+	sc.mu.Unlock()
+}
+
+func (sc *streamClient) close() { sc.fail() }
+
+func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[service.State]int, perScen map[string]int, stats service.Stats, retries int64, mix *transportMix) {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(p float64) time.Duration {
 		if len(lats) == 0 {
@@ -347,6 +518,8 @@ func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[
 	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Printf("transport: %d waited, %d streamed, %d polled\n",
+		mix.waited.Load(), mix.streamed.Load(), mix.polled.Load())
 	states := make([]string, 0, len(outcomes))
 	for s := range outcomes {
 		states = append(states, string(s))

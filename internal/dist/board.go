@@ -11,11 +11,13 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/multiwalk"
 	"repro/internal/perm"
+	"repro/internal/wire"
 )
 
 // defaultBoardSync is the worker cache's board reconciliation period
@@ -38,31 +40,95 @@ const boardSyncTimeout = 5 * time.Second
 // fetch). The hub is lazy so fleets that never run dependent jobs pay
 // nothing — no port, no goroutine.
 type boardHub struct {
-	addr      string // listen address; "" selects 127.0.0.1:0
-	advertise string // advertised base URL; "" derives from the listener
+	addr       string // listen address; "" selects 127.0.0.1:0
+	advertise  string // advertised base URL; "" derives from the listener
+	streamAddr string // stream listen address; "" selects 127.0.0.1:0
 
-	mu     sync.Mutex
-	ln     net.Listener
-	srv    *http.Server
-	base   string
-	boards map[string]*boardEntry
+	mu         sync.Mutex
+	ln         net.Listener
+	srv        *http.Server
+	base       string
+	sln        net.Listener // stream listener (lazy, like the HTTP one)
+	streamBase string       // advertised stream host:port
+	conns      map[*wire.Conn]struct{}
+	boards     map[string]*boardEntry
+
+	// Traffic accounting sampled by telemetry: HTTP sync round trips
+	// and total board bytes each way (HTTP bodies + stream frames of
+	// closed connections; live connections are added in traffic()).
+	mHTTPSyncs atomic.Int64
+	mRxBytes   atomic.Int64
+	mTxBytes   atomic.Int64
 }
 
 // boardEntry is one job's global board plus the probe instance the hub
-// uses to verify publishes. The probe is a live problem encoding whose
-// Cost call may mutate cached internal state, so probeMu serializes it
-// across concurrent syncs.
+// uses to verify publishes and the stream subscribers to notify on
+// improvements. The probe is a live problem encoding whose Cost call
+// may mutate cached internal state; mu serializes it, and also guards
+// the generation counter and subscriber set so "verify, publish, bump
+// gen" is atomic against concurrent syncs.
 type boardEntry struct {
-	board   multiwalk.Board
-	probe   core.Problem
-	probeMu sync.Mutex
+	board multiwalk.Board
+	probe core.Problem
+
+	mu   sync.Mutex
+	gen  uint64
+	subs map[*wire.Conn]struct{}
 }
 
-func newBoardHub(addr, advertise string) *boardHub {
+// merge verifies and applies one publish claim, returning whether the
+// board improved (callers broadcast on true) and a rejection reason
+// for claims that failed verification. A claim that does not improve
+// the current best is a benign no-op, not an error.
+//
+// The board crosses trust boundaries between processes, and its
+// contents steer every walker of the job, so the claim is verified
+// rather than trusted: the configuration must be a permutation of the
+// job's instance size, and the cost must be the probe-recomputed cost
+// of that configuration. Without the recomputation one corrupt
+// publisher could post a fake cost 0 and stand the whole fleet down,
+// or a fake low cost that monotonically blocks every real elite.
+// Honest publishes always match: the engine's incrementally maintained
+// cost equals the recomputed one (pinned by the core equivalence
+// suites).
+func (e *boardEntry) merge(valid bool, cost int, cfg []int) (improved bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, _, curOK := e.board.Snapshot()
+	if !valid || (curOK && cost >= cur) {
+		// Only a claim that would improve the board is worth verifying:
+		// the board keeps strict improvements only, so skipping the rest
+		// (the steady-state case) is behavior-identical and saves a full
+		// cost recomputation per sync.
+		return false, nil
+	}
+	if len(cfg) != e.probe.Size() || perm.Validate(cfg) != nil {
+		return false, errors.New("board sync configuration is not a permutation of the job's instance size")
+	}
+	actual := e.probe.Cost(cfg)
+	if actual != cost {
+		return false, fmt.Errorf("board sync cost %d does not match the configuration's actual cost %d", cost, actual)
+	}
+	e.board.Publish(actual, cfg)
+	e.gen++
+	return true, nil
+}
+
+// state snapshots the entry's global best and generation together.
+func (e *boardEntry) state() (cost int, cfg []int, ok bool, gen uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cost, cfg, ok = e.board.Snapshot()
+	return cost, cfg, ok, e.gen
+}
+
+func newBoardHub(addr, advertise, streamAddr string) *boardHub {
 	return &boardHub{
-		addr:      addr,
-		advertise: advertise,
-		boards:    make(map[string]*boardEntry),
+		addr:       addr,
+		advertise:  advertise,
+		streamAddr: streamAddr,
+		conns:      make(map[*wire.Conn]struct{}),
+		boards:     make(map[string]*boardEntry),
 	}
 }
 
@@ -84,13 +150,20 @@ func (h *boardHub) open(jobID string, probe core.Problem) (url string, board mul
 		return "", nil, nil, fmt.Errorf("dist: board for job %q already open", jobID)
 	}
 	board = multiwalk.NewLocalBoard()
-	h.boards[jobID] = &boardEntry{board: board, probe: probe}
+	h.boards[jobID] = &boardEntry{board: board, probe: probe, subs: make(map[*wire.Conn]struct{})}
 	release = func() {
 		h.mu.Lock()
 		delete(h.boards, jobID)
 		h.mu.Unlock()
 	}
 	return h.base + "/v1/runs/" + jobID + "/board", board, release, nil
+}
+
+// lookup resolves a job's board entry, or nil.
+func (h *boardHub) lookup(jobID string) *boardEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.boards[jobID]
 }
 
 // ensureServerLocked starts the board listener and server on first
@@ -115,19 +188,24 @@ func (h *boardHub) ensureServerLocked() error {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs/{id}/board", h.handleSync)
-	h.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	go func() { _ = h.srv.Serve(ln) }()
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	h.srv = srv
+	go func() { _ = srv.Serve(ln) }()
 	return nil
 }
 
 // handleSync merges a worker cache's best into the job's global board
 // and answers with the global best — one round trip carrying at most
-// one configuration each way.
+// one configuration each way. A request whose Gen matches the board's
+// current generation gets a compact "unchanged" answer instead of the
+// configuration it already holds.
 func (h *boardHub) handleSync(w http.ResponseWriter, r *http.Request) {
+	h.mHTTPSyncs.Add(1)
+	if r.ContentLength > 0 {
+		h.mRxBytes.Add(r.ContentLength)
+	}
 	id := r.PathValue("id")
-	h.mu.Lock()
-	entry := h.boards[id]
-	h.mu.Unlock()
+	entry := h.lookup(id)
 	if entry == nil {
 		// The job finished (or never existed): benign for a straggling
 		// sync racing the shard responses, but the worker has nothing to
@@ -140,66 +218,109 @@ func (h *boardHub) handleSync(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid board sync: " + err.Error()})
 		return
 	}
-	cur, _, curOK := entry.board.Snapshot()
-	if msg.Valid && (!curOK || msg.Cost < cur) {
-		// Only a claim that would improve the board is worth verifying:
-		// the board keeps strict improvements only, so skipping the rest
-		// (the steady-state case — caches re-send their unchanged best
-		// every period) is behavior-identical and saves a full cost
-		// recomputation per sync.
-		//
-		// The board crosses trust boundaries between processes, and its
-		// contents steer every walker of the job, so the claim is
-		// verified rather than trusted: the configuration must be a
-		// permutation of the job's instance size, and the cost must be
-		// the probe-recomputed cost of that configuration. Without the
-		// recomputation one corrupt publisher could post a fake cost 0
-		// and stand the whole fleet down, or a fake low cost that
-		// monotonically blocks every real elite. Honest publishes always
-		// match: the engine's incrementally maintained cost equals the
-		// recomputed one (pinned by the core equivalence suites).
-		if len(msg.Cfg) != entry.probe.Size() || perm.Validate(msg.Cfg) != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "board sync configuration is not a permutation of the job's instance size"})
-			return
-		}
-		entry.probeMu.Lock()
-		actual := entry.probe.Cost(msg.Cfg)
-		entry.probeMu.Unlock()
-		if actual != msg.Cost {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("board sync cost %d does not match the configuration's actual cost %d", msg.Cost, actual)})
-			return
-		}
-		entry.board.Publish(actual, msg.Cfg)
+	improved, err := entry.merge(msg.Valid, msg.Cost, msg.Cfg)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
 	}
-	cost, cfg, ok := entry.board.Snapshot()
-	writeJSON(w, http.StatusOK, BoardSync{Valid: ok, Cost: cost, Cfg: cfg})
+	if improved {
+		h.broadcast(id, entry)
+	}
+	cost, cfg, ok, gen := entry.state()
+	resp := BoardSync{Valid: ok, Cost: cost, Gen: gen, Cfg: cfg}
+	if msg.Gen != 0 && msg.Gen == gen {
+		// The requester already holds this generation: answer without
+		// re-sending the configuration. Valid false + matching Gen is
+		// the "unchanged" shape; the worker keeps its cache as is.
+		resp = BoardSync{Gen: gen}
+	}
+	payload, merr := json.Marshal(resp)
+	if merr != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": merr.Error()})
+		return
+	}
+	h.mTxBytes.Add(int64(len(payload)))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
 }
 
-// close shuts the board server down; in-flight syncs are severed (the
-// scheme is best-effort, and the owning coordinator is going away).
+// traffic reports cumulative board bytes each way: HTTP sync bodies
+// plus the frames of every stream connection, live and closed.
+func (h *boardHub) traffic() (rx, tx int64) {
+	rx, tx = h.mRxBytes.Load(), h.mTxBytes.Load()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for c := range h.conns {
+		rx += c.BytesRead()
+		tx += c.BytesWritten()
+	}
+	return rx, tx
+}
+
+// close shuts the board server down; in-flight syncs and stream
+// connections are severed (the scheme is best-effort, and the owning
+// coordinator is going away).
 func (h *boardHub) close() {
 	h.mu.Lock()
 	srv := h.srv
-	h.srv, h.ln = nil, nil
+	sln := h.sln
+	conns := make([]*wire.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.srv, h.ln, h.sln = nil, nil, nil
 	h.mu.Unlock()
 	if srv != nil {
 		_ = srv.Close()
 	}
+	if sln != nil {
+		_ = sln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
 }
+
+// boardRefreshTicks bounds staleness under the dirty-flag sync: a
+// clean cache still reconciles every boardRefreshTicks ticks (with a
+// cheap gen-only request), so a laggard whose own publishes never
+// improve the board keeps learning about the leaders' elites. 1 tick
+// dirty-or-due latency for improvements, <= 4 ticks for adoptions.
+const boardRefreshTicks = 4
 
 // remoteBoard is the worker side of the cross-worker exchange scheme:
 // a multiwalk.Board whose Publish/Snapshot operate purely on a local
 // in-memory cache — the hot loop never blocks on the network — while a
-// background syncer periodically reconciles the cache with the
-// coordinator-hosted global board (publish my best, merge back the
-// global best). Cooperation latency is therefore bounded by the sync
+// background syncer reconciles the cache with the coordinator-hosted
+// global board. Cooperation latency is therefore bounded by the sync
 // period plus one round trip, and a partitioned worker degrades to an
 // independent walk instead of stalling.
+//
+// Sync is change-driven, not unconditional: Publish marks the cache
+// dirty only when it actually improves the local best, a dirty tick
+// does the full publish-and-fetch, and a clean tick is skipped
+// entirely until the boardRefreshTicks staleness bound forces a
+// gen-only refresh probe. With a stream session attached (sess) the
+// ticker is bypassed altogether — improvements push over the
+// persistent connection the moment they happen and global deltas
+// arrive as frames — and the HTTP loop is the fallback when the
+// stream dies mid-run.
 type remoteBoard struct {
 	cache  multiwalk.Board
 	url    string
 	client *http.Client
 	period time.Duration
+
+	job  string      // hub-side job key (stream frames are tagged with it)
+	sess *streamSess // non-nil when a stream session is attached
+
+	mu        sync.Mutex
+	dirty     bool
+	lastGen   uint64
+	idleTicks int
+
+	notify chan struct{} // cap 1; poked by markDirty for the stream loop
 
 	stopSync context.CancelFunc
 	stopOnce sync.Once
@@ -215,23 +336,100 @@ func newRemoteBoard(url string, client *http.Client, period time.Duration) *remo
 		url:    url,
 		client: client,
 		period: period,
+		notify: make(chan struct{}, 1),
 	}
 }
 
-// Publish implements multiwalk.Board against the local cache.
-func (b *remoteBoard) Publish(cost int, cfg []int) { b.cache.Publish(cost, cfg) }
+// boardBest is the cheap best-cost read localBoard provides; the
+// interface assertion keeps the multiwalk.Board contract minimal.
+type boardBest interface {
+	Best() (int, bool)
+}
+
+// Publish implements multiwalk.Board against the local cache, marking
+// the cache dirty when the publish improves the local best — the
+// signal the syncer keys off instead of re-sending unconditionally.
+func (b *remoteBoard) Publish(cost int, cfg []int) {
+	improved := true
+	if lb, ok := b.cache.(boardBest); ok {
+		cur, valid := lb.Best()
+		improved = !valid || cost < cur
+	}
+	b.cache.Publish(cost, cfg)
+	if improved {
+		b.markDirty()
+	}
+}
 
 // Snapshot implements multiwalk.Board against the local cache.
 func (b *remoteBoard) Snapshot() (int, []int, bool) { return b.cache.Snapshot() }
 
+// applyGlobal merges a board delta received from the hub (stream frame
+// or HTTP response body) into the cache. Hub-originated publishes keep
+// the dirty flag untouched: only local improvements need pushing.
+func (b *remoteBoard) applyGlobal(valid bool, cost int, cfg []int, gen uint64) {
+	if valid && len(cfg) > 0 {
+		b.cache.Publish(cost, cfg)
+	}
+	b.mu.Lock()
+	if gen > b.lastGen {
+		b.lastGen = gen
+	}
+	b.mu.Unlock()
+}
+
+// markDirty flags the cache for the next sync and pokes the stream
+// loop (non-blocking; a pending poke already covers this change).
+func (b *remoteBoard) markDirty() {
+	b.mu.Lock()
+	b.dirty = true
+	b.idleTicks = 0
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// takeDirty consumes the dirty flag, reporting whether a sync is due:
+// always when dirty, every boardRefreshTicks ticks otherwise (the
+// bounded-staleness refresh). The second return is the gen to stamp
+// the request with.
+func (b *remoteBoard) takeDirty() (due, dirty bool, gen uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dirty {
+		b.dirty = false
+		b.idleTicks = 0
+		return true, true, b.lastGen
+	}
+	b.idleTicks++
+	if b.idleTicks >= boardRefreshTicks {
+		b.idleTicks = 0
+		return true, false, b.lastGen
+	}
+	return false, false, b.lastGen
+}
+
 // start launches the background syncer. It runs until stop is called
-// or ctx is cancelled, whichever comes first.
+// or ctx is cancelled, whichever comes first. With a stream session
+// the syncer is push-driven; if the stream dies mid-run it degrades to
+// the HTTP ticker for the rest of the run.
 func (b *remoteBoard) start(ctx context.Context) {
 	syncCtx, cancel := context.WithCancel(ctx)
 	b.stopSync = cancel
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		if b.sess != nil {
+			b.runStream(syncCtx)
+			if syncCtx.Err() != nil {
+				return
+			}
+			// Stream died mid-run: fall back to the HTTP ticker. A
+			// best published while the stream was wedged is still
+			// flagged dirty, so the first tick pushes it.
+		}
 		tick := time.NewTicker(b.period)
 		defer tick.Stop()
 		for {
@@ -245,10 +443,51 @@ func (b *remoteBoard) start(ctx context.Context) {
 	}()
 }
 
-// stop halts the syncer and performs one final flush on a fresh
-// context, so a win published after the last tick (or after the run
-// context was cancelled) still reaches the global board before the
-// shard answers the coordinator. Idempotent: later calls are no-ops.
+// runStream is the push-driven sync loop: wait for a local
+// improvement, flush it as one frame. Global deltas arrive through the
+// session's reader (applyGlobal), not here. Returns when the context
+// or the session dies.
+func (b *remoteBoard) runStream(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-b.sess.dead:
+			return
+		case <-b.notify:
+			b.flushStream()
+		}
+	}
+}
+
+// flushStream pushes the cache's current best over the stream if the
+// dirty flag is set. On failure the flag is restored — the session is
+// dying, and the HTTP fallback picks the improvement up.
+func (b *remoteBoard) flushStream() {
+	b.mu.Lock()
+	if !b.dirty {
+		b.mu.Unlock()
+		return
+	}
+	b.dirty = false
+	gen := b.lastGen
+	b.mu.Unlock()
+	cost, cfg, ok := b.cache.Snapshot()
+	if !ok {
+		return
+	}
+	if err := b.sess.publish(b.job, cost, cfg, gen); err != nil {
+		b.markDirty()
+	}
+}
+
+// stop halts the syncer and performs one final flush, so a win
+// published after the last tick (or after the run context was
+// cancelled) still reaches the global board before the shard answers
+// the coordinator. The flush goes over the stream when one is alive
+// (keeping streamed runs POST-free), over HTTP otherwise — and only
+// when there is something unsynced to push. Idempotent: later calls
+// are no-ops.
 func (b *remoteBoard) stop() {
 	if b.stopSync == nil {
 		return
@@ -256,18 +495,49 @@ func (b *remoteBoard) stop() {
 	b.stopOnce.Do(func() {
 		b.stopSync()
 		b.wg.Wait()
+		b.mu.Lock()
+		dirty := b.dirty
+		b.dirty = false
+		b.mu.Unlock()
+		defer func() {
+			if b.sess != nil {
+				b.sess.leave(b.job)
+			}
+		}()
+		if !dirty {
+			return
+		}
+		if b.sess != nil && b.sess.alive() {
+			cost, cfg, ok := b.cache.Snapshot()
+			if ok && b.sess.publish(b.job, cost, cfg, 0) == nil {
+				return
+			}
+		}
 		flushCtx, cancel := context.WithTimeout(context.Background(), boardSyncTimeout)
 		defer cancel()
+		b.mu.Lock()
+		b.dirty = true
+		b.mu.Unlock()
 		b.sync(flushCtx)
 	})
 }
 
-// sync performs one combined publish-and-fetch round trip. Failures
-// are swallowed: a missed sync only delays cooperation, and the next
-// tick retries.
+// sync performs one publish-and-fetch round trip when one is due —
+// immediately for a dirty cache, every boardRefreshTicks ticks (as a
+// compact gen-only probe) otherwise. Failures restore the dirty flag
+// so the improvement is retried at the next tick; a missed sync only
+// delays cooperation.
 func (b *remoteBoard) sync(ctx context.Context) {
-	cost, cfg, ok := b.cache.Snapshot()
-	payload, err := json.Marshal(BoardSync{Valid: ok, Cost: cost, Cfg: cfg})
+	due, dirty, gen := b.takeDirty()
+	if !due {
+		return
+	}
+	msg := BoardSync{Gen: gen}
+	if dirty {
+		cost, cfg, ok := b.cache.Snapshot()
+		msg = BoardSync{Valid: ok, Cost: cost, Gen: gen, Cfg: cfg}
+	}
+	payload, err := json.Marshal(msg)
 	if err != nil {
 		return
 	}
@@ -280,19 +550,26 @@ func (b *remoteBoard) sync(ctx context.Context) {
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := b.client.Do(req)
 	if err != nil {
+		if dirty {
+			b.markDirty()
+		}
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if dirty && resp.StatusCode >= http.StatusInternalServerError {
+			// Transient server failure: keep the improvement pending.
+			// 4xx rejections are final — retrying an invalid claim
+			// every tick would re-create the churn this flag removes.
+			b.markDirty()
+		}
 		return
 	}
 	var global BoardSync
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBoardSyncLen)).Decode(&global); err != nil {
 		return
 	}
-	if global.Valid && len(global.Cfg) > 0 {
-		b.cache.Publish(global.Cost, global.Cfg)
-	}
+	b.applyGlobal(global.Valid, global.Cost, global.Cfg, global.Gen)
 }
 
 // errExchangeVirtual rejects dependent virtual runs at the coordinator

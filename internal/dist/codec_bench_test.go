@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// codecFixture builds the board-sync payload both codecs are measured
+// on: a full n=196 configuration — one magic-square 14 elite, the
+// largest message the PR 5 exchange matrix moves every improvement.
+func codecFixture() (BoardSync, wire.BoardSync) {
+	rng := rand.New(rand.NewSource(20260729))
+	cfg := rng.Perm(196)
+	j := BoardSync{Valid: true, Cost: 41, Gen: 17, Cfg: cfg}
+	w := wire.BoardSync{Job: "job000001", Valid: true, Cost: 41, Gen: 17, Cfg: cfg}
+	return j, w
+}
+
+// TestBoardSyncCodecCompact pins the headline codec win: the binary
+// frame must stay at least 3x smaller than the JSON body it replaces.
+func TestBoardSyncCodecCompact(t *testing.T) {
+	jmsg, wmsg := codecFixture()
+	jb, err := json.Marshal(&jmsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc wire.Encoder
+	wb, err := enc.BoardSyncFrame(nil, &wmsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wb)*3 > len(jb) {
+		t.Fatalf("binary frame is %d bytes vs %d JSON (%.2fx): want >= 3x smaller", len(wb), len(jb), float64(len(jb))/float64(len(wb)))
+	}
+	t.Logf("n=196 board sync: %d bytes JSON, %d bytes binary (%.2fx)", len(jb), len(wb), float64(len(jb))/float64(len(wb)))
+
+	// The frame must round-trip to the same logical message.
+	typ, payload, rest, err := wire.DecodeFrame(wb)
+	if err != nil || typ != wire.TypeBoardSync || len(rest) != 0 {
+		t.Fatalf("DecodeFrame: typ=%#x rest=%d err=%v", typ, len(rest), err)
+	}
+	got, err := wire.DecodeBoardSync(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != wmsg.Cost || got.Gen != wmsg.Gen || len(got.Cfg) != len(wmsg.Cfg) {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+// BenchmarkBoardSyncCodec compares the two board-sync codecs on the
+// n=196 fixture. The binary encoder must be allocation-free: the sync
+// loop runs every improvement on every walker, and the 50ms HTTP tick
+// it replaces spent most of its non-network time in JSON garbage.
+func BenchmarkBoardSyncCodec(b *testing.B) {
+	jmsg, wmsg := codecFixture()
+
+	b.Run("json-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			buf, err := json.Marshal(&jmsg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(buf)
+		}
+		b.ReportMetric(float64(n), "bytes/op")
+	})
+	b.Run("wire-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var enc wire.Encoder
+		buf := make([]byte, 0, 1024)
+		var n int
+		for i := 0; i < b.N; i++ {
+			out, err := enc.BoardSyncFrame(buf[:0], &wmsg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(out)
+		}
+		b.ReportMetric(float64(n), "bytes/op")
+	})
+
+	jb, _ := json.Marshal(&jmsg)
+	var enc wire.Encoder
+	wb, _ := enc.BoardSyncFrame(nil, &wmsg)
+	b.Run("json-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var m BoardSync
+			if err := json.Unmarshal(jb, &m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wire-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, payload, _, err := wire.DecodeFrame(wb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := wire.DecodeBoardSync(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

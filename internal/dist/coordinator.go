@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/multiwalk"
 	"repro/internal/problems"
+	"repro/internal/wire"
 )
 
 // CoordinatorConfig configures a coordinator over a worker fleet.
@@ -47,6 +48,17 @@ type CoordinatorConfig struct {
 	// reconcile with the global board. 0 lets each worker apply its
 	// default (50ms).
 	BoardSync time.Duration
+	// Stream enables the streaming control plane: shard dispatch as
+	// binary RunSpec frames and, for exchange jobs, a persistent
+	// multiplexed board stream in place of the periodic POST loop.
+	// Both are negotiated per worker — a worker that does not
+	// advertise wire support keeps the HTTP/JSON paths — so mixed
+	// fleets work with no flag coordination.
+	Stream bool
+	// StreamAddr is the listen address of the board stream hub. Empty
+	// selects 127.0.0.1:0; set it (with a routable host) when workers
+	// are on other machines. Only used when Stream is set.
+	StreamAddr string
 }
 
 // JobSpec describes one distributed multi-walk job. It is the
@@ -83,7 +95,8 @@ type workerRef struct {
 	index int
 	base  string
 	slots int
-	busy  int // guarded by Coordinator.mu
+	wire  bool // healthz advertised wire-frame support
+	busy  int  // guarded by Coordinator.mu
 }
 
 // WorkerInfo describes an enrolled worker.
@@ -109,6 +122,24 @@ type Coordinator struct {
 
 	boards    *boardHub
 	boardSync time.Duration
+	stream    bool
+}
+
+// newFleetClient is the coordinator's default HTTP client: one shared
+// transport with keep-alives and an idle pool sized to the fleet, so
+// shard dispatch, cancel RPCs and health probes reuse connections
+// instead of opening a fresh one per call (the default zero-value
+// Client churned through ephemeral ports under load).
+func newFleetClient(workers int) *http.Client {
+	if workers < 1 {
+		workers = 1
+	}
+	return &http.Client{Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        8 * workers,
+		MaxIdleConnsPerHost: 8,
+		IdleConnTimeout:     90 * time.Second,
+	}}
 }
 
 // NewCoordinator enrolls the configured workers, probing each for its
@@ -121,7 +152,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{}
+		client = newFleetClient(len(cfg.Workers))
 	}
 	probeTimeout := cfg.ProbeTimeout
 	if probeTimeout <= 0 {
@@ -132,45 +163,63 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		client:    client,
-		boards:    newBoardHub(cfg.BoardAddr, cfg.BoardAdvertise),
+		boards:    newBoardHub(cfg.BoardAddr, cfg.BoardAdvertise, cfg.StreamAddr),
 		boardSync: cfg.BoardSync,
+		stream:    cfg.Stream,
 	}
 	for i, base := range cfg.Workers {
-		slots, err := c.probe(base, probeTimeout)
+		slots, wireOK, err := c.probe(base, probeTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("dist: enrolling worker %s: %w", base, err)
 		}
-		c.workers = append(c.workers, &workerRef{index: i, base: base, slots: slots})
+		c.workers = append(c.workers, &workerRef{index: i, base: base, slots: slots, wire: wireOK})
 	}
 	return c, nil
 }
 
-// probe reads a worker's slot capacity from its health endpoint.
-func (c *Coordinator) probe(base string, timeout time.Duration) (int, error) {
+// probe reads a worker's slot capacity and wire capability from its
+// health endpoint. Workers that predate the streaming control plane
+// simply omit the field and stay on HTTP/JSON.
+func (c *Coordinator) probe(base string, timeout time.Duration) (int, bool, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer resp.Body.Close()
 	var health struct {
-		Slots int `json:"slots"`
+		Slots int  `json:"slots"`
+		Wire  bool `json:"wire"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		return 0, fmt.Errorf("decoding healthz: %w", err)
+		return 0, false, fmt.Errorf("decoding healthz: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("healthz status %d", resp.StatusCode)
+		return 0, false, fmt.Errorf("healthz status %d", resp.StatusCode)
 	}
 	if health.Slots < 1 {
-		return 0, fmt.Errorf("worker reports %d slots", health.Slots)
+		return 0, false, fmt.Errorf("worker reports %d slots", health.Slots)
 	}
-	return health.Slots, nil
+	return health.Slots, health.Wire, nil
+}
+
+// BoardTraffic reports the cumulative exchange-board bytes moved each
+// way (HTTP sync bodies plus stream frames) — the board-sync bytes
+// metric the telemetry sampler records.
+func (c *Coordinator) BoardTraffic() (rx, tx int64) {
+	return c.boards.traffic()
+}
+
+// BoardHTTPSyncs reports how many per-tick board POSTs the hub has
+// served. With streaming negotiated fleet-wide it stays zero — the
+// invariant the streaming exchange test asserts.
+func (c *Coordinator) BoardHTTPSyncs() int64 {
+	return c.boards.mHTTPSyncs.Load()
 }
 
 // Name identifies the backend in service logs and metrics.
@@ -332,7 +381,7 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 	// The board lives exactly as long as the job — run() waits for all
 	// shard responses before releasing it, so no shard ever syncs into
 	// a reassigned board.
-	var boardURL string
+	var boardURL, boardStream, boardJob string
 	if job.Exchange.Enabled {
 		// The probe instance lets the board server verify every publish
 		// against the actual problem (see boardHub.handleSync); building
@@ -341,12 +390,25 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 		if err != nil {
 			return multiwalk.Result{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
-		url, _, releaseBoard, err := c.boards.open(fmt.Sprintf("job%06d", jobID), probe)
+		boardJob = fmt.Sprintf("job%06d", jobID)
+		url, _, releaseBoard, err := c.boards.open(boardJob, probe)
 		if err != nil {
 			return multiwalk.Result{}, err
 		}
 		defer releaseBoard()
 		boardURL = url
+		if c.stream {
+			// Streaming fleets also get the hub's persistent-frame
+			// address; wire-capable workers replace their POST loops
+			// with it, others ignore the field. The HTTP URL stays in
+			// the request as the in-run fallback path.
+			boardStream, err = c.boards.ensureStream()
+			if err != nil {
+				return multiwalk.Result{}, err
+			}
+		} else {
+			boardJob = ""
+		}
 	}
 
 	// Pre-cancelled caller: don't contact the fleet at all — report
@@ -399,6 +461,8 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 				DeadlineMS:   deadlineMS,
 				Exchange:     exchangeSpec,
 				Board:        boardURL,
+				BoardStream:  boardStream,
+				BoardJob:     boardJob,
 			}
 			outcomes[i] = c.runShard(reqCtx, a, req)
 			if mode == ModeRun && outcomes[i].err == nil && !outcomes[i].lost && outcomes[i].res.Solved {
@@ -551,17 +615,33 @@ func (c *Coordinator) plan(mode string, k int) ([]assignment, func(), error) {
 	return plan, release, nil
 }
 
-// runShard posts one shard run and waits for its statistics.
+// runShard posts one shard run and waits for its statistics. Dispatch
+// is a binary RunSpec frame when streaming is on and the worker
+// advertised wire support, JSON otherwise; responses are JSON either
+// way (one response per shard — framing buys nothing there).
 func (c *Coordinator) runShard(ctx context.Context, a *assignment, reqBody RunRequest) shardOutcome {
-	payload, err := json.Marshal(reqBody)
-	if err != nil {
-		return shardOutcome{err: err}
+	var payload []byte
+	contentType := "application/json"
+	if c.stream && a.worker.wire {
+		var enc wire.Encoder
+		spec := wireRunSpec(&reqBody)
+		framed, err := enc.RunSpecFrame(nil, &spec)
+		if err != nil {
+			return shardOutcome{err: err}
+		}
+		payload, contentType = framed, ContentTypeWire
+	} else {
+		var err error
+		payload, err = json.Marshal(reqBody)
+		if err != nil {
+			return shardOutcome{err: err}
+		}
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, a.worker.base+"/v1/run", bytes.NewReader(payload))
 	if err != nil {
 		return shardOutcome{err: err}
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set("Content-Type", contentType)
 	resp, err := c.client.Do(httpReq)
 	if err != nil {
 		// Transport loss: connection refused, reset mid-run, context

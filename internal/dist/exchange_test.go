@@ -213,7 +213,7 @@ func (p hubProbe) CostIfSwap(cfg []int, cost, i, j int) int {
 // cost that does not match the configuration) must never poison the
 // job's elite pool or stand the fleet down.
 func TestBoardHubProtocol(t *testing.T) {
-	h := newBoardHub("", "")
+	h := newBoardHub("", "", "")
 	t.Cleanup(h.close)
 	url, board, release, err := h.open("jobX", hubProbe{n: 3})
 	if err != nil {

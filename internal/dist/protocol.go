@@ -31,7 +31,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/multiwalk"
 	"repro/internal/problems"
+	"repro/internal/wire"
 )
+
+// ContentTypeWire marks an HTTP body carrying one internal/wire frame
+// instead of JSON. The worker's run endpoint dispatches on it, so a
+// stream-negotiated coordinator ships RunSpec frames while plain
+// HTTP/JSON peers keep working against the same route.
+const ContentTypeWire = "application/x-repro-wire"
 
 // Typed protocol errors. The worker HTTP layer maps ErrBadRequest to
 // 400 and ErrBusy to 429; the coordinator surfaces ErrNoCapacity when
@@ -123,6 +130,16 @@ type RunRequest struct {
 	// (combined publish-and-fetch, POST BoardSync). Required when
 	// Exchange is enabled; every shard of one job receives the same URL.
 	Board string `json:"board,omitempty"`
+	// BoardStream is the TCP address of the coordinator's streaming
+	// board hub (internal/wire frames). Optional: a stream-capable
+	// worker replaces the periodic Board POST loop with a persistent
+	// multiplexed connection carrying deltas both ways, and falls back
+	// to Board over HTTP if the stream dies. Empty keeps the HTTP path.
+	BoardStream string `json:"board_stream,omitempty"`
+	// BoardJob is the hub-side job key BoardStream subscriptions and
+	// publishes are tagged with (frames multiplex several jobs over one
+	// worker connection). Required iff BoardStream is set.
+	BoardJob string `json:"board_job,omitempty"`
 }
 
 // ExchangeSpec is the wire form of multiwalk.ExchangeOptions plus the
@@ -185,10 +202,18 @@ func (s *ExchangeSpec) validate(where string) error {
 // merge. One round trip per sync period is the scheme's entire network
 // footprint — the paper's minimal-data-transfer goal, kept across
 // process boundaries.
+// Gen is the board's generation counter: the hub bumps it on every
+// accepted improvement and stamps responses with it. A request whose
+// Gen matches the hub's current generation receives a compact
+// "unchanged" answer (Valid false, no Cfg, same Gen) instead of a
+// re-sent configuration; peers that never set Gen (older workers)
+// always get the full response, so the field is purely an
+// optimization.
 type BoardSync struct {
-	Valid bool  `json:"valid"`
-	Cost  int   `json:"cost,omitempty"`
-	Cfg   []int `json:"cfg,omitempty"`
+	Valid bool   `json:"valid"`
+	Cost  int    `json:"cost,omitempty"`
+	Gen   uint64 `json:"gen,omitempty"`
+	Cfg   []int  `json:"cfg,omitempty"`
 }
 
 // EngineSpec is the wire form of core.Options: every numeric tunable,
@@ -242,6 +267,135 @@ type RunResponse struct {
 	Completed int              `json:"completed"`
 	Truncated bool             `json:"truncated"`
 	ElapsedNS int64            `json:"elapsed_ns"`
+}
+
+// wireEngineSpec converts an engine spec to its binary form.
+func wireEngineSpec(s *EngineSpec) wire.EngineSpec {
+	return wire.EngineSpec{
+		MaxIterations:    s.MaxIterations,
+		MaxRuns:          int64(s.MaxRuns),
+		FreezeLocMin:     int64(s.FreezeLocMin),
+		FreezeSwap:       int64(s.FreezeSwap),
+		ResetLimit:       int64(s.ResetLimit),
+		ResetFraction:    s.ResetFraction,
+		ProbSelectLocMin: s.ProbSelectLocMin,
+		Strategy:         s.Strategy,
+		FirstBest:        s.FirstBest,
+		Exhaustive:       s.Exhaustive,
+		CheckEvery:       int64(s.CheckEvery),
+		InitialConfig:    s.InitialConfig,
+	}
+}
+
+// engineSpecFromWire converts a binary engine spec back.
+func engineSpecFromWire(s *wire.EngineSpec) EngineSpec {
+	return EngineSpec{
+		MaxIterations:    s.MaxIterations,
+		MaxRuns:          int(s.MaxRuns),
+		FreezeLocMin:     int(s.FreezeLocMin),
+		FreezeSwap:       int(s.FreezeSwap),
+		ResetLimit:       int(s.ResetLimit),
+		ResetFraction:    s.ResetFraction,
+		ProbSelectLocMin: s.ProbSelectLocMin,
+		Strategy:         s.Strategy,
+		FirstBest:        s.FirstBest,
+		Exhaustive:       s.Exhaustive,
+		CheckEvery:       int(s.CheckEvery),
+		InitialConfig:    s.InitialConfig,
+	}
+}
+
+// wireRunSpec converts a run request to its binary dispatch form.
+func wireRunSpec(req *RunRequest) wire.RunSpec {
+	spec := wire.RunSpec{
+		ID:           req.ID,
+		Mode:         req.Mode,
+		Problem:      req.Problem,
+		Size:         int64(req.Size),
+		Seed:         req.Seed,
+		TotalWalkers: int64(req.TotalWalkers),
+		Start:        int64(req.Start),
+		Count:        int64(req.Count),
+		Engine:       wireEngineSpec(&req.Engine),
+		DeadlineMS:   req.DeadlineMS,
+		Exchange: wire.ExchangeSpec{
+			Enabled:      req.Exchange.Enabled,
+			Period:       req.Exchange.Period,
+			AdoptFactor:  req.Exchange.AdoptFactor,
+			PerturbSwaps: int64(req.Exchange.PerturbSwaps),
+			SyncMS:       req.Exchange.SyncMS,
+		},
+		Board:       req.Board,
+		BoardStream: req.BoardStream,
+		BoardJob:    req.BoardJob,
+	}
+	for i := range req.Portfolio {
+		spec.Portfolio = append(spec.Portfolio, wire.PortfolioSpec{
+			Weight: int64(req.Portfolio[i].Weight),
+			Engine: wireEngineSpec(&req.Portfolio[i].Engine),
+		})
+	}
+	return spec
+}
+
+// runRequestFromWire converts a binary run spec back into the JSON
+// request struct, which carries all semantic validation.
+func runRequestFromWire(spec *wire.RunSpec) RunRequest {
+	req := RunRequest{
+		ID:           spec.ID,
+		Mode:         spec.Mode,
+		Problem:      spec.Problem,
+		Size:         int(spec.Size),
+		Seed:         spec.Seed,
+		TotalWalkers: int(spec.TotalWalkers),
+		Start:        int(spec.Start),
+		Count:        int(spec.Count),
+		Engine:       engineSpecFromWire(&spec.Engine),
+		DeadlineMS:   spec.DeadlineMS,
+		Exchange: ExchangeSpec{
+			Enabled:      spec.Exchange.Enabled,
+			Period:       spec.Exchange.Period,
+			AdoptFactor:  spec.Exchange.AdoptFactor,
+			PerturbSwaps: int(spec.Exchange.PerturbSwaps),
+			SyncMS:       spec.Exchange.SyncMS,
+		},
+		Board:       spec.Board,
+		BoardStream: spec.BoardStream,
+		BoardJob:    spec.BoardJob,
+	}
+	for i := range spec.Portfolio {
+		req.Portfolio = append(req.Portfolio, PortfolioSpec{
+			Weight: int(spec.Portfolio[i].Weight),
+			Engine: engineSpecFromWire(&spec.Portfolio[i].Engine),
+		})
+	}
+	return req
+}
+
+// DecodeRunRequestWire reads and validates one binary run request (a
+// single RunSpec frame). Structural wire errors and semantic failures
+// both wrap ErrBadRequest, exactly like the JSON decoder.
+func DecodeRunRequestWire(r io.Reader) (RunRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r, maxRequestBodyLen))
+	if err != nil {
+		return RunRequest{}, fmt.Errorf("%w: reading wire body: %v", ErrBadRequest, err)
+	}
+	typ, payload, rest, err := wire.DecodeFrame(body)
+	if err != nil {
+		return RunRequest{}, fmt.Errorf("%w: invalid wire frame: %v", ErrBadRequest, err)
+	}
+	if typ != wire.TypeRunSpec || len(rest) != 0 {
+		return RunRequest{}, fmt.Errorf("%w: expected exactly one run spec frame", ErrBadRequest)
+	}
+	spec, err := wire.DecodeRunSpec(payload)
+	if err != nil {
+		return RunRequest{}, fmt.Errorf("%w: invalid run spec: %v", ErrBadRequest, err)
+	}
+	req := runRequestFromWire(&spec)
+	if err := req.Validate(); err != nil {
+		return RunRequest{}, err
+	}
+	return req, nil
 }
 
 // DecodeRunRequest reads and structurally validates one RunRequest.
@@ -305,6 +459,12 @@ func (req *RunRequest) Validate() error {
 	}
 	if len(req.Board) > maxBoardURL {
 		return fmt.Errorf("%w: board URL of %d bytes exceeds %d", ErrBadRequest, len(req.Board), maxBoardURL)
+	}
+	if len(req.BoardStream) > maxBoardURL || len(req.BoardJob) > maxBoardURL {
+		return fmt.Errorf("%w: board stream address or job key exceeds %d bytes", ErrBadRequest, maxBoardURL)
+	}
+	if (req.BoardStream == "") != (req.BoardJob == "") {
+		return fmt.Errorf("%w: board_stream and board_job must be set together", ErrBadRequest)
 	}
 	if err := req.Engine.validate("engine"); err != nil {
 		return err

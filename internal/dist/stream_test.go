@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multiwalk"
+)
+
+// streamFleet stands up n single-slot streaming workers plus a
+// streaming coordinator — the exchangeFleet topology with the binary
+// control plane negotiated everywhere.
+func streamFleet(t *testing.T, n int) *Coordinator {
+	t.Helper()
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		wk := NewWorker(WorkerConfig{Slots: 1, Stream: true})
+		srv := httptest.NewServer(wk.Handler())
+		t.Cleanup(func() { srv.Close(); wk.Close() })
+		urls = append(urls, srv.URL)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Workers:   urls,
+		BoardSync: 2 * time.Millisecond,
+		Stream:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord
+}
+
+// exchangeJob is the PR 5 cross-worker adoption matrix: one adaptive
+// leader pinned to worker 0 by the greedy shard plan, two random-walk
+// laggards on workers 1 and 2 that can only adopt elites which
+// traveled through the coordinator board.
+func exchangeJob(t *testing.T) JobSpec {
+	t.Helper()
+	engine := tunedEngine(t, "magic-square", 14)
+	engine.MaxIterations = 300_000
+	engine.MaxRuns = 1
+	engine.CheckEvery = 64
+	laggard := engine
+	laggard.Strategy = core.StrategyRandomWalk
+	return JobSpec{
+		Problem: "magic-square", Size: 14, Walkers: 3, Seed: 20260729,
+		Portfolio: []multiwalk.PortfolioEntry{
+			{Weight: 1, Engine: engine},
+			{Weight: 2, Engine: laggard},
+		},
+		Exchange: multiwalk.ExchangeOptions{Enabled: true, Period: 64, AdoptFactor: 1.0},
+	}
+}
+
+// TestDistStreamExchangeCrossWorkerAdoption is the streaming
+// acceptance test: the 3-worker adoption matrix of
+// TestDistExchangeCrossWorkerAdoption completes with cooperation
+// crossing worker boundaries while the board moves exclusively over
+// the persistent stream — zero per-tick HTTP board POSTs.
+func TestDistStreamExchangeCrossWorkerAdoption(t *testing.T) {
+	coord := streamFleet(t, 3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := coord.Run(ctx, exchangeJob(t))
+	if err != nil {
+		t.Fatalf("streamed exchange run errored: %v", err)
+	}
+	if res.Truncated {
+		t.Fatalf("run truncated: %+v", res)
+	}
+	if len(res.Walkers) != 3 || res.Completed != 3 {
+		t.Fatalf("want 3 completed walkers, got %d completed of %d", res.Completed, len(res.Walkers))
+	}
+	if res.Adoptions == 0 {
+		t.Fatal("no cross-worker adoptions: the streamed board did not connect the worker processes")
+	}
+	var laggardAdoptions int64
+	for _, ws := range res.Walkers[1:] {
+		laggardAdoptions += ws.Adoptions
+	}
+	if laggardAdoptions == 0 {
+		t.Fatalf("all %d adoptions on the leader: laggard workers never received the elite", res.Adoptions)
+	}
+	if n := coord.BoardHTTPSyncs(); n != 0 {
+		t.Fatalf("streaming run performed %d HTTP board syncs, want 0 (the POST loop should be fully replaced)", n)
+	}
+	if rx, tx := coord.BoardTraffic(); rx == 0 || tx == 0 {
+		t.Fatalf("stream transport carried no board bytes (rx=%d tx=%d): cooperation happened some other way?", rx, tx)
+	}
+}
+
+// streamConnCount reports the hub's live stream connection count.
+func streamConnCount(h *boardHub) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// TestDistStreamFallbackToHTTP severs every board stream connection
+// mid-run: the affected shard runs must degrade to the HTTP sync loop
+// and complete normally — streaming is a transport optimization, never
+// a correctness dependency. The next run re-dials fresh and is fully
+// streamed again (no new HTTP syncs).
+func TestDistStreamFallbackToHTTP(t *testing.T) {
+	coord := streamFleet(t, 2)
+
+	engine := tunedEngine(t, "costas", 16)
+	engine.MaxIterations = 60_000
+	engine.MaxRuns = 1
+	engine.CheckEvery = 16
+	job := JobSpec{
+		Problem: "costas", Size: 16, Walkers: 2, Seed: 7, Engine: engine,
+		Exchange: multiwalk.ExchangeOptions{Enabled: true, Period: 16, AdoptFactor: 1.0},
+	}
+
+	done := make(chan struct{})
+	var res multiwalk.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = coord.Run(context.Background(), job)
+	}()
+
+	// Wait for both workers to attach their streams, then cut them.
+	deadline := time.Now().Add(10 * time.Second)
+	for streamConnCount(coord.boards) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never attached board streams")
+		}
+		select {
+		case <-done:
+			t.Fatalf("run finished before streams attached: res=%+v err=%v", res, runErr)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	coord.boards.severStreams()
+	<-done
+
+	if runErr != nil {
+		t.Fatalf("run with severed streams errored: %v", runErr)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2 (fallback must keep the shards alive)", res.Completed)
+	}
+
+	// Second run: the worker pools dropped the dead sessions, so the
+	// fleet re-dials and streams again — no new HTTP board syncs.
+	before := coord.BoardHTTPSyncs()
+	res2, err := coord.Run(context.Background(), job)
+	if err != nil {
+		t.Fatalf("post-sever run errored: %v", err)
+	}
+	if res2.Completed != 2 {
+		t.Fatalf("post-sever run Completed = %d, want 2", res2.Completed)
+	}
+	if after := coord.BoardHTTPSyncs(); after != before {
+		t.Fatalf("post-sever run performed %d HTTP board syncs, want 0 (workers should have re-dialed the stream)", after-before)
+	}
+}
+
+// TestRemoteBoardDirtyFlagSkipsIdleSyncs pins the change-driven sync
+// behavior: an idle cache must not POST every tick — only the bounded-
+// staleness refresh probe, one tick in boardRefreshTicks — while a
+// local improvement still flows out promptly.
+func TestRemoteBoardDirtyFlagSkipsIdleSyncs(t *testing.T) {
+	h := newBoardHub("", "", "")
+	t.Cleanup(h.close)
+	url, global, release, err := h.open("jobIdle", hubProbe{n: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(release)
+
+	const period = 10 * time.Millisecond
+	b := newRemoteBoard(url, newBoardClient(), period)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.start(ctx)
+
+	// Idle phase: no publish ever happens. Over ~40 ticks an
+	// every-tick syncer would POST ~40 times; the dirty-flag syncer
+	// probes only every boardRefreshTicks ticks.
+	const idleTicks = 40
+	time.Sleep(idleTicks * period)
+	idleSyncs := h.mHTTPSyncs.Load()
+	if idleSyncs == 0 {
+		t.Fatal("idle cache never probed the board: the staleness bound is gone and laggards would never adopt")
+	}
+	if max := int64(idleTicks/boardRefreshTicks + 3); idleSyncs > max {
+		t.Fatalf("idle cache synced %d times over %d ticks (want <= %d): no-change ticks are not being skipped", idleSyncs, idleTicks, max)
+	}
+
+	// Improvement phase: a publish must reach the global board within
+	// a couple of ticks, not after the staleness window.
+	b.Publish(1, []int{1, 0, 2, 3}) // one inversion under hubProbe
+	deadline := time.Now().Add(20 * period)
+	for {
+		if cost, _, ok := global.Snapshot(); ok && cost == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("published improvement never reached the global board")
+		}
+		time.Sleep(period / 4)
+	}
+	b.stop()
+}

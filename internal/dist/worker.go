@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/multiwalk"
 	"repro/internal/problems"
+	"repro/internal/telemetry"
 )
 
 // WorkerConfig sizes one worker process.
@@ -26,9 +29,35 @@ type WorkerConfig struct {
 	// (ExchangeSpec.SyncMS). 0 selects 50ms.
 	BoardSync time.Duration
 	// BoardClient is the HTTP client for board sync traffic. nil
-	// selects a dedicated client (each sync is bounded by its own
-	// timeout, so no global one is set).
+	// selects a shared keep-alive transport sized for the steady
+	// per-tick sync cadence against one coordinator host (each sync is
+	// bounded by its own timeout, so no global one is set).
 	BoardClient *http.Client
+	// Stream enables the worker side of the streaming control plane:
+	// exchange runs whose request carries a BoardStream address attach
+	// to the coordinator's persistent board stream instead of running
+	// the periodic POST loop. Binary run dispatch needs no flag — the
+	// run endpoint always accepts wire frames.
+	Stream bool
+	// Telemetry, when non-nil, receives periodic FTDC-style samples:
+	// worker gauges plus per-walker iteration and cost series for
+	// every active run. The caller owns the recorder's sink.
+	Telemetry *telemetry.Recorder
+	// TelemetryInterval is the sampling period. 0 selects 1s.
+	TelemetryInterval time.Duration
+}
+
+// newBoardClient is the worker's default board sync client: board
+// traffic goes to a single coordinator host at a steady cadence, so a
+// few kept-alive connections replace the per-tick churn of the
+// zero-value client.
+func newBoardClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        8,
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     90 * time.Second,
+	}}
 }
 
 // Worker executes shard runs on behalf of a coordinator. Expose it
@@ -47,18 +76,30 @@ type Worker struct {
 	slots       int
 	boardSync   time.Duration
 	boardClient *http.Client
+	streams     *streamPool // nil unless WorkerConfig.Stream
+	telem       *telemetry.Recorder
+	telemEvery  time.Duration
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	busy   int
-	runs   map[string]context.CancelFunc
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	busy      int
+	runs      map[string]context.CancelFunc
+	telemRuns map[string]*runTelem
+	closed    bool
+	wg        sync.WaitGroup
 
 	mRuns      atomic.Int64
 	mCancelled atomic.Int64
+}
+
+// runTelem is one active run's telemetry cells: an (iterations, cost)
+// atomic pair per walker, written by the run's Progress hook and read
+// by the sampler.
+type runTelem struct {
+	start int
+	cells []atomic.Int64 // 2 per walker: iterations, cost
 }
 
 // NewWorker creates a worker with the given slot capacity.
@@ -70,17 +111,30 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cfg.BoardSync = defaultBoardSync
 	}
 	if cfg.BoardClient == nil {
-		cfg.BoardClient = &http.Client{}
+		cfg.BoardClient = newBoardClient()
+	}
+	if cfg.TelemetryInterval <= 0 {
+		cfg.TelemetryInterval = time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Worker{
+	wk := &Worker{
 		slots:       cfg.Slots,
 		boardSync:   cfg.BoardSync,
 		boardClient: cfg.BoardClient,
+		telem:       cfg.Telemetry,
+		telemEvery:  cfg.TelemetryInterval,
 		ctx:         ctx,
 		cancel:      cancel,
 		runs:        make(map[string]context.CancelFunc),
+		telemRuns:   make(map[string]*runTelem),
 	}
+	if cfg.Stream {
+		wk.streams = newStreamPool()
+	}
+	if wk.telem != nil {
+		go wk.sampleTelemetry()
+	}
+	return wk
 }
 
 // Slots returns the worker's walker-slot capacity.
@@ -94,6 +148,52 @@ func (wk *Worker) Close() {
 	wk.mu.Unlock()
 	wk.cancel()
 	wk.wg.Wait()
+	if wk.streams != nil {
+		wk.streams.close()
+	}
+}
+
+// sampleTelemetry is the worker's FTDC sampler: one row per interval
+// carrying the worker gauges and every active run's per-walker
+// iteration and cost series. Metric names are sorted, so the schema
+// only changes when the active-run set does — the recorder's
+// schema-delta encoding stays cheap between run boundaries.
+func (wk *Worker) sampleTelemetry() {
+	tick := time.NewTicker(wk.telemEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-wk.ctx.Done():
+			return
+		case now := <-tick.C:
+			wk.mu.Lock()
+			busy := wk.busy
+			metrics := make([]telemetry.Metric, 0, 4+8*len(wk.telemRuns))
+			for id, rt := range wk.telemRuns {
+				for i := 0; i < len(rt.cells)/2; i++ {
+					g := rt.start + i
+					metrics = append(metrics,
+						telemetry.Metric{Name: fmt.Sprintf("%s_w%04d_iter", id, g), Value: rt.cells[2*i].Load()},
+						telemetry.Metric{Name: fmt.Sprintf("%s_w%04d_cost", id, g), Value: rt.cells[2*i+1].Load()},
+					)
+				}
+			}
+			wk.mu.Unlock()
+			metrics = append(metrics,
+				telemetry.Metric{Name: "runs_total", Value: wk.mRuns.Load()},
+				telemetry.Metric{Name: "slots_busy", Value: int64(busy)},
+			)
+			if wk.streams != nil {
+				rx, tx := wk.streams.traffic()
+				metrics = append(metrics,
+					telemetry.Metric{Name: "board_stream_rx_bytes", Value: rx},
+					telemetry.Metric{Name: "board_stream_tx_bytes", Value: tx},
+				)
+			}
+			sort.Slice(metrics, func(i, j int) bool { return metrics[i].Name < metrics[j].Name })
+			_ = wk.telem.Record(now, metrics)
+		}
+	}
 }
 
 // Handler returns the worker's HTTP protocol surface.
@@ -139,8 +239,17 @@ func (wk *Worker) reserve(req *RunRequest, cancel context.CancelFunc) (release f
 }
 
 // handleRun executes one shard run and answers with its statistics.
+// The request body is JSON or a binary RunSpec frame, dispatched on
+// Content-Type; wire decoding is always available — it is stream
+// *sync* that is opt-in, not the codec.
 func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
-	req, err := DecodeRunRequest(r.Body)
+	var req RunRequest
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeWire) {
+		req, err = DecodeRunRequestWire(r.Body)
+	} else {
+		req, err = DecodeRunRequest(r.Body)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -181,6 +290,25 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 	for _, p := range req.Portfolio {
 		opts.Portfolio = append(opts.Portfolio, multiwalk.PortfolioEntry{Weight: p.Weight, Engine: p.Engine.Options()})
 	}
+	if wk.telem != nil {
+		rt := &runTelem{start: req.Start, cells: make([]atomic.Int64, 2*req.Count)}
+		opts.Progress = func(walker int, iter int64, cost int) {
+			i := walker - rt.start
+			if i < 0 || 2*i >= len(rt.cells) {
+				return
+			}
+			rt.cells[2*i].Store(iter)
+			rt.cells[2*i+1].Store(int64(cost))
+		}
+		wk.mu.Lock()
+		wk.telemRuns[req.ID] = rt
+		wk.mu.Unlock()
+		defer func() {
+			wk.mu.Lock()
+			delete(wk.telemRuns, req.ID)
+			wk.mu.Unlock()
+		}()
+	}
 
 	// Dependent runs cooperate through a write-through cache of the
 	// coordinator's global board: walkers touch only local memory, the
@@ -196,6 +324,16 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 			period = wk.boardSync
 		}
 		board = newRemoteBoard(req.Board, wk.boardClient, period)
+		if wk.streams != nil && req.BoardStream != "" {
+			// Streaming board sync, negotiated per run: attach the
+			// cache to the persistent hub connection. A failed dial is
+			// not an error — the run silently keeps the HTTP loop, the
+			// scheme's designed degradation.
+			if sess, serr := wk.streams.join(req.BoardStream, req.BoardJob, board); serr == nil {
+				board.sess = sess
+				board.job = req.BoardJob
+			}
+		}
 		board.start(runCtx)
 		defer board.stop() // idempotent backstop for early returns
 		opts.Board = board
@@ -254,6 +392,12 @@ func (wk *Worker) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"active_runs":   active,
 		"runs_total":    wk.mRuns.Load(),
 		"cancels_total": wk.mCancelled.Load(),
+		// Capability advertisement for the coordinator's probe: wire is
+		// unconditional (the run endpoint always decodes binary
+		// frames); stream reports whether this worker will attach to a
+		// board stream when offered one.
+		"wire":   true,
+		"stream": wk.streams != nil,
 	})
 }
 

@@ -64,6 +64,16 @@ func (b *localBoard) Publish(cost int, cfg []int) {
 	}
 }
 
+// Best returns the current best cost without copying the
+// configuration — the cheap read the dist layer's dirty-flag sync uses
+// to classify a Publish as an improvement before paying for a
+// Snapshot. The second return is false while the board is empty.
+func (b *localBoard) Best() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bestCost, b.valid
+}
+
 // Snapshot implements Board.
 func (b *localBoard) Snapshot() (cost int, cfg []int, ok bool) {
 	b.mu.Lock()

@@ -94,12 +94,19 @@ func NewHandler(s *Scheduler) http.Handler {
 		if s.Closed() {
 			status, code = "shutting down", http.StatusServiceUnavailable
 		}
-		writeJSON(w, code, map[string]any{
+		health := map[string]any{
 			"status":      status,
 			"slots":       st.Slots,
 			"slots_busy":  st.SlotsBusy,
 			"queue_depth": st.QueueDepth,
-		})
+		}
+		if addr := s.StreamAddr(); addr != "" {
+			// Streaming transport discovery: clients that see this dial
+			// the persistent progress stream instead of polling GET
+			// /v1/jobs/{id}.
+			health["stream_addr"] = addr
+		}
+		writeJSON(w, code, health)
 	})
 	// Served through expvar.Func so the payload is exactly what a
 	// global expvar.Publish of Stats would produce, without touching

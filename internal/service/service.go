@@ -93,6 +93,13 @@ type job struct {
 	res       *multiwalk.Result
 	err       error
 	cancelRun context.CancelFunc // set while running
+
+	// watchMu guards the progress subscribers (see events.go). It is a
+	// separate lock from mu so event fan-out never contends with
+	// snapshotting; no code path holds both at once.
+	watchMu   sync.Mutex
+	watchers  []chan ProgressEvent
+	watchDone bool
 }
 
 // snapshot builds the immutable transport view.
@@ -154,6 +161,14 @@ type Scheduler struct {
 	mCancelled  atomic.Int64
 	mFailed     atomic.Int64
 	mIterations atomic.Int64
+	mAdoptions  atomic.Int64
+	mYielded    atomic.Int64
+
+	// streamAddr is the advertised job-progress stream endpoint (set by
+	// the serving binary when a StreamServer is attached); "" when the
+	// service is HTTP-only. Exposed through /healthz so clients can
+	// discover and prefer the streaming transport.
+	streamAddr atomic.Value // string
 }
 
 // New starts a scheduler with the given configuration.
@@ -432,6 +447,7 @@ func (s *Scheduler) runJob(j *job) {
 	j.mu.Unlock()
 	s.decQueued()
 	s.mRunning.Add(1)
+	j.emit(ProgressEvent{JobID: j.id, State: StateRunning, Walker: -1})
 
 	res, err := s.cfg.Backend.RunJob(runCtx, j.req.Problem, j.req.Size, j.factory, j.opts)
 	switch {
@@ -471,6 +487,7 @@ func (s *Scheduler) finalizeQueued(j *job, err error) bool {
 	s.decQueued()
 	s.mCancelled.Add(1)
 	close(j.done)
+	j.finishWatchers(j.snapshot())
 	return true
 }
 
@@ -506,7 +523,16 @@ func (s *Scheduler) finalize(j *job, state State, res *multiwalk.Result, err err
 	case StateFailed:
 		s.mFailed.Add(1)
 	}
+	if res != nil {
+		s.mAdoptions.Add(res.Adoptions)
+		for _, ws := range res.Walkers {
+			if ws.Yielded {
+				s.mYielded.Add(1)
+			}
+		}
+	}
 	close(j.done)
+	j.finishWatchers(j.snapshot())
 }
 
 // decQueued releases one admission-queue position. Callers must not
@@ -554,17 +580,40 @@ func (s *Scheduler) evict(now time.Time) {
 	}
 }
 
+// progressEventInterval throttles per-walker milestone events: at most
+// one event per walker per interval, so a subscriber sees a steady
+// trickle instead of every CheckEvery poll.
+const progressEventInterval = 50 * time.Millisecond
+
 // progressFor returns the per-job multiwalk Progress hook feeding the
-// global iteration throughput counter. Each walker's cumulative count
-// is turned into deltas through a per-walker cell — only that walker's
-// goroutine touches it, so a plain slice suffices; the shared counter
-// is atomic.
+// global iteration throughput counter and the job's event subscribers.
+// Each walker's cumulative count is turned into deltas through a
+// per-walker cell — only that walker's goroutine touches it, so a
+// plain slice suffices; the shared counter is atomic.
 func (s *Scheduler) progressFor(j *job) func(int, int64, int) {
 	last := make([]int64, j.opts.Walkers)
-	return func(w int, iter int64, _ int) {
+	lastEmit := make([]time.Time, j.opts.Walkers)
+	return func(w int, iter int64, cost int) {
 		s.mIterations.Add(iter - last[w])
 		last[w] = iter
+		if now := time.Now(); now.Sub(lastEmit[w]) >= progressEventInterval {
+			lastEmit[w] = now
+			j.emit(ProgressEvent{JobID: j.id, State: StateRunning, Walker: w, Iterations: iter, Cost: cost})
+		}
 	}
+}
+
+// SetStreamAddr records the advertised streaming endpoint for
+// discovery via /healthz ("" clears it). The serving binary calls this
+// after attaching a StreamServer.
+func (s *Scheduler) SetStreamAddr(addr string) { s.streamAddr.Store(addr) }
+
+// StreamAddr returns the advertised streaming endpoint, or "".
+func (s *Scheduler) StreamAddr() string {
+	if v, ok := s.streamAddr.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 // Stats is the point-in-time metrics snapshot served by /metrics.
@@ -589,7 +638,13 @@ type Stats struct {
 	// rate decays toward zero rather than dropping to it.
 	Iterations       int64   `json:"iterations_total"`
 	IterationsPerSec float64 `json:"iterations_per_sec"`
-	UptimeMS         int64   `json:"uptime_ms"`
+	// Adoptions and Yielded aggregate the dependent (Exchange) scheme's
+	// activity across finished jobs: elite-configuration adoptions and
+	// walkers that stood down because the board showed the job solved
+	// elsewhere. Both stay 0 on a fleet running only independent jobs.
+	Adoptions int64 `json:"adoptions_total"`
+	Yielded   int64 `json:"yielded_total"`
+	UptimeMS  int64 `json:"uptime_ms"`
 }
 
 // Stats assembles the current metrics snapshot.
@@ -617,6 +672,8 @@ func (s *Scheduler) Stats() Stats {
 		JobsFailed:    s.mFailed.Load(),
 		JobsStored:    stored,
 		Iterations:    iters,
+		Adoptions:     s.mAdoptions.Load(),
+		Yielded:       s.mYielded.Load(),
 		UptimeMS:      up.Milliseconds(),
 	}
 	if sec := up.Seconds(); sec > 0 {

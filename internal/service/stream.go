@@ -1,0 +1,263 @@
+package service
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// streamHandshakeTimeout bounds the wire handshake per connection.
+const streamHandshakeTimeout = 10 * time.Second
+
+// StreamServer serves job progress over the persistent binary
+// transport (internal/wire), replacing GET /v1/jobs/{id} polling for
+// clients that opt in. One TCP connection multiplexes any number of
+// job subscriptions: the client sends a Subscribe frame per job and
+// receives that job's ProgressEvent flow as Progress frames, ending
+// with a terminal frame carrying the final result. The HTTP API stays
+// authoritative and unchanged — the stream is a delivery optimization,
+// discovered through /healthz ("stream_addr") and safe to lose: a
+// client whose connection dies falls back to polling.
+type StreamServer struct {
+	s  *Scheduler
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*wire.Conn]struct{}
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewStreamServer listens on addr ("" selects 127.0.0.1:0) and serves
+// the scheduler's progress events. It does not register itself for
+// discovery — the caller decides the advertised address and passes it
+// to Scheduler.SetStreamAddr (the listener may bind a wildcard or
+// sit behind a proxy).
+func NewStreamServer(s *Scheduler, addr string) (*StreamServer, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: starting progress stream listener on %s: %w", addr, err)
+	}
+	sv := &StreamServer{
+		s:     s,
+		ln:    ln,
+		conns: make(map[*wire.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	sv.wg.Add(1)
+	go sv.accept()
+	return sv, nil
+}
+
+// Addr returns the listener's concrete host:port.
+func (sv *StreamServer) Addr() string { return sv.ln.Addr().String() }
+
+// Close stops the listener, severs every live connection and waits for
+// the per-connection goroutines to drain.
+func (sv *StreamServer) Close() {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		sv.wg.Wait()
+		return
+	}
+	sv.closed = true
+	conns := make([]*wire.Conn, 0, len(sv.conns))
+	for c := range sv.conns {
+		conns = append(conns, c)
+	}
+	sv.mu.Unlock()
+	close(sv.done)
+	_ = sv.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	sv.wg.Wait()
+}
+
+func (sv *StreamServer) accept() {
+	defer sv.wg.Done()
+	for {
+		nc, err := sv.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := wire.NewConn(nc)
+		sv.mu.Lock()
+		if sv.closed {
+			sv.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		sv.conns[c] = struct{}{}
+		sv.wg.Add(1)
+		sv.mu.Unlock()
+		go sv.serve(c)
+	}
+}
+
+// serve drives one client connection: handshake, then a read loop
+// spawning one forwarding goroutine per Subscribe frame. The goroutines
+// share the connection's serialized writer, so frames from concurrent
+// jobs interleave whole, never torn.
+func (sv *StreamServer) serve(c *wire.Conn) {
+	defer sv.wg.Done()
+	var jobs sync.WaitGroup
+	defer jobs.Wait()
+	defer sv.drop(c)
+	if _, err := c.AcceptHandshake("solve-service", streamHandshakeTimeout); err != nil {
+		return
+	}
+	for {
+		typ, payload, err := c.ReadFrame()
+		if err != nil {
+			return
+		}
+		if typ != wire.TypeSubscribe {
+			// Unknown frame types are skipped for forward compatibility.
+			continue
+		}
+		sub, err := wire.DecodeSubscribe(payload)
+		if err != nil {
+			return
+		}
+		jobs.Add(1)
+		go func(id string) {
+			defer jobs.Done()
+			sv.streamJob(c, id)
+		}(sub.Job)
+	}
+}
+
+func (sv *StreamServer) drop(c *wire.Conn) {
+	_ = c.Close()
+	sv.mu.Lock()
+	delete(sv.conns, c)
+	sv.mu.Unlock()
+}
+
+// streamJob forwards one job's events until the terminal frame. An
+// unknown job (never submitted, or TTL-evicted) gets an immediate
+// terminal error frame rather than silence, so a subscriber never
+// waits on a job that will not report.
+func (sv *StreamServer) streamJob(c *wire.Conn, id string) {
+	ch, cancel, err := sv.s.Watch(id)
+	if err != nil {
+		_ = c.WriteProgress(&wire.Progress{Job: id, Walker: -1, Terminal: true, Error: err.Error()})
+		return
+	}
+	defer cancel()
+	sawTerminal := false
+	for {
+		var ev ProgressEvent
+		var ok bool
+		select {
+		case <-sv.done:
+			return
+		case ev, ok = <-ch:
+		}
+		if !ok {
+			break
+		}
+		if err := c.WriteProgress(eventFrame(ev)); err != nil {
+			_ = c.Close()
+			return
+		}
+		if ev.Terminal {
+			sawTerminal = true
+		}
+	}
+	if sawTerminal {
+		return
+	}
+	// Events are best-effort: a full subscriber buffer can drop even the
+	// terminal event. The close is reliable, so re-fetch the final state
+	// and synthesize the terminal frame.
+	if job, gerr := sv.s.Get(id); gerr == nil && job.State.Terminal() {
+		_ = c.WriteProgress(jobFrame(job))
+		return
+	}
+	_ = c.WriteProgress(&wire.Progress{Job: id, Walker: -1, Terminal: true, Error: "job result unavailable"})
+}
+
+// eventFrame converts a ProgressEvent into its wire frame.
+func eventFrame(ev ProgressEvent) *wire.Progress {
+	p := &wire.Progress{
+		Job:        ev.JobID,
+		State:      string(ev.State),
+		Walker:     int64(ev.Walker),
+		Iterations: ev.Iterations,
+		Cost:       int64(ev.Cost),
+		Terminal:   ev.Terminal,
+	}
+	if ev.Terminal && ev.Job != nil {
+		p.State = string(ev.Job.State)
+		p.Error = ev.Job.Error
+		p.Result = wireResult(ev.Job.Result)
+	}
+	return p
+}
+
+// jobFrame synthesizes a terminal frame from a job snapshot.
+func jobFrame(job Job) *wire.Progress {
+	return &wire.Progress{
+		Job:      job.ID,
+		State:    string(job.State),
+		Walker:   -1,
+		Terminal: true,
+		Error:    job.Error,
+		Result:   wireResult(job.Result),
+	}
+}
+
+// wireResult maps the transport result onto the wire struct.
+func wireResult(r *JobResult) *wire.ProgressResult {
+	if r == nil {
+		return nil
+	}
+	return &wire.ProgressResult{
+		Solved:           r.Solved,
+		Winner:           int64(r.Winner),
+		WinnerStrategy:   r.WinnerStrategy,
+		WinnerIterations: r.WinnerIterations,
+		TotalIterations:  r.TotalIterations,
+		Completed:        int64(r.CompletedWalkers),
+		Truncated:        r.Truncated,
+		ElapsedMS:        r.ElapsedMS,
+		Adoptions:        r.Adoptions,
+		Yielded:          int64(r.YieldedWalkers),
+		Solution:         r.Solution,
+	}
+}
+
+// JobFromProgress reconstructs the transport-level result from a
+// terminal Progress frame — the inverse of the frames this server
+// emits, shared with stream clients (examples/loadgen) so the two ends
+// cannot drift on field mapping.
+func JobFromProgress(p *wire.Progress) Job {
+	job := Job{ID: p.Job, State: State(p.State), Error: p.Error}
+	if r := p.Result; r != nil {
+		job.Result = &JobResult{
+			Solved:           r.Solved,
+			Winner:           int(r.Winner),
+			WinnerStrategy:   r.WinnerStrategy,
+			WinnerIterations: r.WinnerIterations,
+			TotalIterations:  r.TotalIterations,
+			CompletedWalkers: int(r.Completed),
+			Truncated:        r.Truncated,
+			ElapsedMS:        r.ElapsedMS,
+			Adoptions:        r.Adoptions,
+			YieldedWalkers:   int(r.Yielded),
+			Solution:         r.Solution,
+		}
+	}
+	return job
+}

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func newStreamServer(t *testing.T, s *Scheduler) *StreamServer {
+	t.Helper()
+	sv, err := NewStreamServer(s, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sv.Close)
+	s.SetStreamAddr(sv.Addr())
+	return sv
+}
+
+// readUntilTerminal drains progress frames off a subscribed stream
+// connection until the job's terminal event arrives.
+func readUntilTerminal(t *testing.T, c *wire.Conn, jobID string) wire.Progress {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no terminal frame within deadline")
+		}
+		typ, payload, err := c.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if typ != wire.TypeProgress {
+			t.Fatalf("unexpected frame type %#x", typ)
+		}
+		p, err := wire.DecodeProgress(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Job != jobID {
+			t.Fatalf("frame for job %q, subscribed to %q", p.Job, jobID)
+		}
+		if p.Terminal {
+			return p
+		}
+	}
+}
+
+// TestWatchLifecycle pins the event flow a watcher observes: at least
+// a running transition, then exactly one terminal event carrying the
+// job snapshot — and the channel closes after it.
+func TestWatchLifecycle(t *testing.T) {
+	s := New(Config{Slots: 4})
+	defer s.Close()
+
+	job, err := s.Submit(Request{Problem: "costas", Size: 8, Walkers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := s.Watch(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	var sawRunning bool
+	var terminal *ProgressEvent
+	for ev := range ch {
+		if ev.JobID != job.ID {
+			t.Fatalf("event for %q, watching %q", ev.JobID, job.ID)
+		}
+		if ev.State == StateRunning && ev.Walker == -1 {
+			sawRunning = true
+		}
+		if ev.Terminal {
+			e := ev
+			terminal = &e
+		}
+	}
+	if terminal == nil {
+		t.Fatal("channel closed without a terminal event")
+	}
+	if !sawRunning && terminal.Job.State != StateSolved {
+		// A fast solve may finish before the watcher attaches; then the
+		// terminal snapshot alone is the contract.
+		t.Fatal("no running event and job not solved")
+	}
+	if terminal.Job == nil || terminal.Job.Result == nil || !terminal.Job.Result.Solved {
+		t.Fatalf("terminal event lacks a solved result: %+v", terminal)
+	}
+
+	// Watching an already-terminal job yields the terminal event
+	// immediately from the snapshot.
+	ch2, cancel2, err := s.Watch(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	select {
+	case ev, ok := <-ch2:
+		if !ok || !ev.Terminal || ev.Job == nil {
+			t.Fatalf("late watcher: ok=%v ev=%+v", ok, ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late watcher got no immediate terminal event")
+	}
+
+	if _, _, err := s.Watch("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Watch(unknown) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestStreamServerZeroGetPolling is the transport acceptance test: a
+// client that submits async over HTTP and awaits the result over the
+// progress stream issues ZERO GET /v1/jobs/{id} polls.
+func TestStreamServerZeroGetPolling(t *testing.T) {
+	s := New(Config{Slots: 4})
+	defer s.Close()
+	sv := newStreamServer(t, s)
+
+	var statusGets atomic.Int64
+	h := NewHandler(s)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			statusGets.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	// Async submit over plain HTTP, like any client.
+	resp, err := http.Post(srv.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"problem":"costas","size":8,"walkers":2,"seed":11}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit: status=%d job=%+v", resp.StatusCode, job)
+	}
+
+	// Await the result over the stream instead of polling.
+	conn, err := wire.Dial(sv.Addr(), "test-client", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.WriteSubscribe(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	p := readUntilTerminal(t, conn, job.ID)
+	if p.Error != "" {
+		t.Fatalf("terminal error frame: %s", p.Error)
+	}
+	got := JobFromProgress(&p)
+	if got.State != StateSolved || got.Result == nil || !got.Result.Solved {
+		t.Fatalf("streamed terminal job: %+v", got)
+	}
+	if len(got.Result.Solution) != 8 {
+		t.Fatalf("solution length %d, want 8", len(got.Result.Solution))
+	}
+
+	if n := statusGets.Load(); n != 0 {
+		t.Fatalf("client issued %d GET /v1/jobs/{id} polls, want 0", n)
+	}
+
+	// The authoritative HTTP record agrees with the streamed snapshot.
+	final, err := s.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != got.State || final.Result.Winner != got.Result.Winner {
+		t.Fatalf("stream/HTTP divergence: stream=%+v http=%+v", got, final)
+	}
+}
+
+// TestStreamServerUnknownJob: subscribing to a job the service never
+// heard of answers with a terminal error frame instead of silence.
+func TestStreamServerUnknownJob(t *testing.T) {
+	s := New(Config{Slots: 2})
+	defer s.Close()
+	sv := newStreamServer(t, s)
+
+	conn, err := wire.Dial(sv.Addr(), "test-client", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.WriteSubscribe("no-such-job"); err != nil {
+		t.Fatal(err)
+	}
+	p := readUntilTerminal(t, conn, "no-such-job")
+	if p.Error == "" {
+		t.Fatal("terminal frame for unknown job carries no error")
+	}
+}
+
+// TestStreamServerMultiplex: one connection awaits several jobs at
+// once; every subscription gets its own terminal event.
+func TestStreamServerMultiplex(t *testing.T) {
+	s := New(Config{Slots: 4})
+	defer s.Close()
+	sv := newStreamServer(t, s)
+
+	conn, err := wire.Dial(sv.Addr(), "test-client", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	want := make(map[string]bool)
+	for i := 0; i < 3; i++ {
+		job, err := s.Submit(Request{Problem: "costas", Size: 8, Walkers: 1, Seed: uint64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[job.ID] = true
+		if err := conn.WriteSubscribe(job.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for len(want) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("still waiting on %d terminals", len(want))
+		}
+		typ, payload, err := conn.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != wire.TypeProgress {
+			continue
+		}
+		p, err := wire.DecodeProgress(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Terminal {
+			continue
+		}
+		if !want[p.Job] {
+			t.Fatalf("terminal for unexpected job %q", p.Job)
+		}
+		if p.Error != "" || p.Result == nil {
+			t.Fatalf("terminal for %s: err=%q result=%v", p.Job, p.Error, p.Result)
+		}
+		delete(want, p.Job)
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	base := time.UnixMilli(1_700_000_000_000)
+
+	rows := [][]Metric{
+		{{"iterations_total", 0}, {"queue_depth", 3}},
+		{{"iterations_total", 1000}, {"queue_depth", 3}}, // one unchanged field
+		{{"iterations_total", 2500}, {"queue_depth", 0}},
+		// Schema change: a walker appears.
+		{{"iterations_total", 4000}, {"queue_depth", 0}, {"w0001_iter", 10}},
+		{{"iterations_total", 4000}, {"queue_depth", 0}, {"w0001_iter", 20}}, // idle totals
+	}
+	for i, row := range rows {
+		if err := r.Record(base.Add(time.Duration(i)*time.Second), row); err != nil {
+			t.Fatalf("Record(%d): %v", i, err)
+		}
+	}
+
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(rows))
+	}
+	for i, row := range rows {
+		s := got[i]
+		if want := base.Add(time.Duration(i) * time.Second); !s.TS.Equal(want) {
+			t.Errorf("sample %d: ts %v, want %v", i, s.TS, want)
+		}
+		if len(s.Metrics) != len(row) {
+			t.Fatalf("sample %d: %d metrics, want %d", i, len(s.Metrics), len(row))
+		}
+		for j, m := range row {
+			if s.Metrics[j] != m {
+				t.Errorf("sample %d metric %d: %+v, want %+v", i, j, s.Metrics[j], m)
+			}
+		}
+	}
+}
+
+// TestDeltaCompression pins the encoding's point: unchanged counters
+// cost zero value bytes, so an idle sample is a handful of bytes no
+// matter how wide the schema is.
+func TestDeltaCompression(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	wide := make([]Metric, 64)
+	for i := range wide {
+		wide[i] = Metric{Name: "metric_" + string(rune('a'+i%26)) + string(rune('a'+i/26)), Value: int64(i * 1000)}
+	}
+	ts := time.UnixMilli(1_700_000_000_000)
+	if err := r.Record(ts, wide); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := buf.Len()
+	// Idle tick: nothing moved.
+	if err := r.Record(ts.Add(time.Second), wide); err != nil {
+		t.Fatal(err)
+	}
+	idleBytes := buf.Len() - afterFirst
+	// length prefix + kind + ts delta (2 bytes for 1000ms) + 8 mask
+	// bytes = well under 16.
+	if idleBytes > 16 {
+		t.Errorf("idle sample of %d-metric schema cost %d bytes, want <= 16", len(wide), idleBytes)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Decode: %d samples, err %v", len(got), err)
+	}
+}
+
+func TestTornLogYieldsPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	ts := time.UnixMilli(1_700_000_000_000)
+	row := []Metric{{"a", 1}, {"b", 2}}
+	for i := 0; i < 3; i++ {
+		row[0].Value += int64(i)
+		if err := r.Record(ts.Add(time.Duration(i)*time.Second), row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := buf.Bytes()
+	torn := whole[:len(whole)-2]
+	got, err := Decode(bytes.NewReader(torn))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn log: err = %v, want ErrCorrupt", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("torn log yielded %d complete samples, want 2", len(got))
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	cases := [][]byte{
+		{0x05, 0x02, 0x00, 0x00, 0x00, 0x00}, // sample before schema
+		{0x03, 0x7f, 0x00, 0x00},             // unknown kind
+		{0xff, 0xff, 0xff, 0xff, 0x7f},       // absurd length
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
