@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csp"
 	"repro/internal/dist"
+	"repro/internal/domain"
 	"repro/internal/multiwalk"
 	"repro/internal/problems"
 	"repro/internal/service"
@@ -132,7 +133,8 @@ func SolveParallelVirtual(ctx context.Context, factory ProblemFactory, opts Mult
 
 // NewProblem constructs a registered benchmark instance by name
 // ("all-interval", "perfect-square", "magic-square", "costas", "queens",
-// "alpha", "langford", "partition"). size <= 0 selects the default.
+// "alpha", "langford", "partition", "timetable"). size <= 0 selects the
+// default.
 func NewProblem(name string, size int) (Problem, error) {
 	return problems.New(name, size)
 }
@@ -141,6 +143,24 @@ func NewProblem(name string, size int) (Problem, error) {
 // registered benchmark, for SolveParallel.
 func NewProblemFactory(name string, size int) (ProblemFactory, error) {
 	f, err := problems.NewFactory(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return ProblemFactory(f), nil
+}
+
+// NewProblemWithParams constructs a registered benchmark with
+// benchmark-specific parameters (the finite-domain benchmarks' knobs,
+// e.g. timetable's "slots", "rooms", "teachers"). Unknown keys or
+// out-of-range values fail with a typed bad-parameter error; nil params
+// is equivalent to NewProblem.
+func NewProblemWithParams(name string, size int, params map[string]int) (Problem, error) {
+	return problems.NewWithParams(name, size, params)
+}
+
+// NewProblemFactoryParams is the factory form of NewProblemWithParams.
+func NewProblemFactoryParams(name string, size int, params map[string]int) (ProblemFactory, error) {
+	f, err := problems.NewFactoryParams(name, size, params)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +211,15 @@ var (
 	ErrJobUnknown = service.ErrNotFound
 	ErrClosed     = service.ErrClosed
 )
+
+// ErrBadParams marks a benchmark construction request with unknown or
+// out-of-range parameters (errors.Is-matchable).
+var ErrBadParams = problems.ErrBadParams
+
+// ErrUnsatisfiable marks a model whose pre-search domain reduction
+// proved it has no solution (errors.Is-matchable); Solve and the
+// serving layer surface it before any search is spent.
+var ErrUnsatisfiable = domain.ErrUnsatisfiable
 
 // NewSolveService starts an admission-controlled solve scheduler.
 // Close it to cancel outstanding jobs and release every goroutine.

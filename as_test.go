@@ -2,6 +2,8 @@ package repro
 
 import (
 	"context"
+	"errors"
+	"slices"
 	"testing"
 )
 
@@ -61,8 +63,11 @@ func TestFacadeVirtual(t *testing.T) {
 
 func TestFacadeRegistry(t *testing.T) {
 	names := Benchmarks()
-	if len(names) != 8 {
-		t.Fatalf("expected 8 benchmarks, got %v", names)
+	if len(names) != 9 {
+		t.Fatalf("expected 9 benchmarks, got %v", names)
+	}
+	if !slices.Contains(names, "timetable") {
+		t.Fatalf("finite-domain benchmark missing from registry: %v", names)
 	}
 	info, err := DescribeBenchmark("costas")
 	if err != nil || info.PaperSize != 22 {
@@ -70,6 +75,39 @@ func TestFacadeRegistry(t *testing.T) {
 	}
 	if _, err := NewProblem("bogus", 1); err == nil {
 		t.Fatal("bogus benchmark accepted")
+	}
+}
+
+// TestFacadeFiniteDomain exercises the parameterized construction path:
+// a solvable timetable instance solves through the plain facade Solve,
+// an over-constrained parameter set is rejected by the pre-search
+// domain reduction pass inside Solve, and unknown parameters fail
+// construction with the typed bad-params error.
+func TestFacadeFiniteDomain(t *testing.T) {
+	p, err := NewProblemWithParams("timetable", 20, map[string]int{"slots": 6, "rooms": 4, "teachers": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := TunedOptions(p)
+	opts.Seed = 7
+	res, err := Solve(context.Background(), p, opts)
+	if err != nil || !res.Solved {
+		t.Fatalf("timetable solve failed: %+v %v", res, err)
+	}
+	if res.Assigns == 0 {
+		t.Fatalf("finite-domain run executed no assign moves: %+v", res)
+	}
+	// Over-constrained parameters construct fine — unsatisfiability is
+	// proven by the pre-search domain reduction pass inside Solve.
+	unsat, err := NewProblemWithParams("timetable", 3, map[string]int{"rooms": 1, "slots": 2, "teachers": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(context.Background(), unsat, TunedOptions(unsat)); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("unsatisfiable parameter set not rejected by reduction: %v", err)
+	}
+	if _, err := NewProblemWithParams("timetable", 20, map[string]int{"professors": 1}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("unknown parameter not rejected: %v", err)
 	}
 }
 

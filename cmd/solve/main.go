@@ -7,6 +7,7 @@
 //	solve -problem costas -size 16 -walkers 8 -seed 42 -timeout 60s
 //	solve -problem magic-square -size 10 -strategy metropolis
 //	solve -problem costas -size 14 -walkers 6 -portfolio adaptive:2,metropolis:1
+//	solve -problem timetable -size 20 -param slots=6 -param rooms=4 -param teachers=4
 //	solve -list
 //
 // With -walkers > 1 the run uses the paper's independent multi-walk
@@ -52,6 +53,8 @@ func run() error {
 		list      = flag.Bool("list", false, "list available benchmarks and strategies and exit")
 		quiet     = flag.Bool("quiet", false, "suppress solution printing")
 	)
+	params := paramFlags{}
+	flag.Var(&params, "param", "benchmark parameter as key=value (repeatable), e.g. -param slots=6 -param rooms=4")
 	flag.Parse()
 
 	if *list {
@@ -69,7 +72,7 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	p, err := problems.New(*problem, *size)
+	p, err := problems.NewWithParams(*problem, *size, params)
 	if err != nil {
 		return err
 	}
@@ -96,7 +99,7 @@ func run() error {
 		return exitStatus(res.Solved)
 	}
 
-	factory, err := problems.NewFactory(*problem, *size)
+	factory, err := problems.NewFactoryParams(*problem, *size, params)
 	if err != nil {
 		return err
 	}
@@ -151,6 +154,31 @@ func run() error {
 			w.Walker, status, w.Result.Strategy, w.Result.Iterations, w.Result.Restarts, w.Adoptions)
 	}
 	return exitStatus(res.Solved)
+}
+
+// paramFlags collects repeated -param key=value pairs into the
+// problem-parameter map the finite-domain benchmarks consume.
+type paramFlags map[string]int
+
+func (p paramFlags) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p paramFlags) Set(s string) error {
+	key, valStr, ok := strings.Cut(s, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	v, err := strconv.Atoi(valStr)
+	if err != nil {
+		return fmt.Errorf("non-integer value in %q", s)
+	}
+	p[key] = v
+	return nil
 }
 
 // parsePortfolio turns "adaptive:2,metropolis:1" into portfolio entries

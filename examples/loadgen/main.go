@@ -56,6 +56,12 @@ func scenarios(timeoutMS int64, exchange bool) []scenario {
 		{"queens-32", map[string]any{"problem": "queens", "size": 32, "walkers": 1, "timeout_ms": timeoutMS}},
 		{"all-interval-10", map[string]any{"problem": "all-interval", "size": 10, "walkers": 2, "timeout_ms": timeoutMS}},
 		{"magic-square-5", map[string]any{"problem": "magic-square", "size": 5, "walkers": 1, "timeout_ms": timeoutMS}},
+		// The finite-domain benchmark: exercises the assign/flip move
+		// path and problem-parameter plumbing end to end.
+		{"timetable-20", map[string]any{
+			"problem": "timetable", "size": 20, "walkers": 2, "timeout_ms": timeoutMS,
+			"params": map[string]any{"slots": 6, "rooms": 4, "teachers": 4},
+		}},
 		{"portfolio-costas-9", map[string]any{
 			"problem": "costas", "size": 9, "walkers": 2, "timeout_ms": timeoutMS,
 			"portfolio": []map[string]any{{"strategy": "adaptive", "weight": 1}, {"strategy": "metropolis", "weight": 1}},

@@ -55,12 +55,54 @@ func (u unsolvableFast) ErrorsOnVariables(cfg []int, out []int) {
 	u.mev.ErrorsOnVariables(cfg, out)
 }
 
+// unsolvableFD is the finite-domain counterpart: it forwards the FD
+// encoding interfaces (domains, assign moves, batched assign rows) so
+// the engine keeps running the assign loop — hiding FDProblem would
+// silently demote the benchmark to the permutation path, which feeds
+// out-of-domain values to its cost function.
+type unsolvableFD struct {
+	unsolvable
+	fd  core.FDProblem
+	ae  core.AssignEvaluator
+	ax  core.AssignExecutor
+	mev core.MaintainedErrorVector
+}
+
+func (u unsolvableFD) Domain(i int) []int { return u.fd.Domain(i) }
+
+func (u unsolvableFD) CostIfAssign(cfg []int, cost, i, v int) int {
+	return u.fd.CostIfAssign(cfg, cost-1, i, v) + 1
+}
+
+func (u unsolvableFD) CostsIfAssignAll(cfg []int, cost, i int, out []int) {
+	u.ae.CostsIfAssignAll(cfg, cost-1, i, out)
+	for k := range out {
+		out[k]++
+	}
+}
+
+func (u unsolvableFD) ExecutedAssign(cfg []int, i, old int) { u.ax.ExecutedAssign(cfg, i, old) }
+
+func (u unsolvableFD) LiveErrors(cfg []int) []int { return u.mev.LiveErrors(cfg) }
+
+func (u unsolvableFD) ErrorsOnVariables(cfg []int, out []int) {
+	u.mev.ErrorsOnVariables(cfg, out)
+}
+
 // wrapUnsolvable picks the wrapper matching p's capabilities: the fast
-// wrapper only advertises interfaces the wrapped problem actually
+// wrappers only advertise interfaces the wrapped problem actually
 // implements, so a future benchmark without the fast paths exercises
 // the engine's per-call fallback instead of panicking on a type
 // assertion.
 func wrapUnsolvable(p core.Problem) core.Problem {
+	if fd, ok := p.(core.FDProblem); ok {
+		ae, okA := p.(core.AssignEvaluator)
+		ax, okX := p.(core.AssignExecutor)
+		mev, okE := p.(core.MaintainedErrorVector)
+		if okA && okX && okE {
+			return unsolvableFD{unsolvable{p}, fd, ae, ax, mev}
+		}
+	}
 	me, okM := p.(core.MoveEvaluator)
 	mev, okE := p.(core.MaintainedErrorVector)
 	if okM && okE {

@@ -40,7 +40,8 @@ func Solve(ctx context.Context, p Problem, opts Options) (Result, error) {
 	if err := opts.Validate(n); err != nil {
 		return Result{}, err
 	}
-	if opts.InitialConfig != nil {
+	fd, isFD := p.(FDProblem)
+	if opts.InitialConfig != nil && !isFD {
 		if err := perm.Validate(opts.InitialConfig); err != nil {
 			return Result{}, fmt.Errorf("core: bad InitialConfig: %w", err)
 		}
@@ -59,6 +60,33 @@ func Solve(ctx context.Context, p Problem, opts Options) (Result, error) {
 	}
 	e.swapper, _ = p.(SwapExecutor)
 	e.resetter, _ = p.(ResetHandler)
+	if isFD {
+		// Finite-domain encoding: run the pre-search reduction pass,
+		// prove every domain habitable, and resolve the FD plug points
+		// before the first iteration. Reduction errors (empty domain)
+		// wrap domain.ErrUnsatisfiable — a proof, surfaced as a typed
+		// error rather than an unsolved Result.
+		if dr, ok := p.(DomainReducer); ok {
+			if err := dr.ReduceDomains(); err != nil {
+				return Result{}, fmt.Errorf("core: domain reduction: %w", err)
+			}
+		}
+		if err := validateFDDomains(fd); err != nil {
+			return Result{}, err
+		}
+		if opts.InitialConfig != nil {
+			if err := ValidateFDConfig(fd, opts.InitialConfig); err != nil {
+				return Result{}, fmt.Errorf("core: bad InitialConfig: %w", err)
+			}
+		}
+		e.fd = fd
+		e.assigner, _ = p.(AssignExecutor)
+		e.assignSel, _ = strat.Move.(AssignSelector)
+		if e.assignSel == nil {
+			return Result{}, fmt.Errorf("core: strategy %q has no finite-domain move selector", strat.Name)
+		}
+		e.assignRestart, _ = strat.Restart.(AssignRestartPolicy)
+	}
 
 	start := time.Now()
 	res := e.solve()
@@ -78,6 +106,13 @@ type engine struct {
 	swapper  SwapExecutor
 	resetter ResetHandler
 	strat    Strategy
+
+	// Finite-domain plug points, nil on the permutation path. A non-nil
+	// fd switches solve to the FD loop in fdengine.go.
+	fd            FDProblem
+	assigner      AssignExecutor
+	assignSel     AssignSelector
+	assignRestart AssignRestartPolicy
 
 	st State
 
@@ -99,6 +134,9 @@ type engine struct {
 }
 
 func (e *engine) solve() Result {
+	if e.fd != nil {
+		return e.solveFD()
+	}
 	n := e.p.Size()
 	e.res = Result{Cost: math.MaxInt, Strategy: e.strat.Name}
 	e.bestCost = math.MaxInt

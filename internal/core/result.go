@@ -28,8 +28,16 @@ type Result struct {
 	// Iterations counts engine iterations summed over all restarts.
 	Iterations int64
 	// Swaps counts executed swaps (improving moves plus forced
-	// local-minimum escapes).
+	// local-minimum escapes). Permutation encodings only; always 0 on
+	// the finite-domain path.
 	Swaps int64
+	// Assigns counts executed assignments (improving moves plus forced
+	// local-minimum escapes). Finite-domain encodings only; always 0 on
+	// the permutation path.
+	Assigns int64
+	// Flips counts the subset of Assigns landing on binary (two-value)
+	// domains — the 0/1 flip moves of Boolean-shaped models.
+	Flips int64
 	// LocalMinima counts iterations whose best swap did not improve.
 	LocalMinima int64
 	// PlateauEscapes counts local minima resolved by the probabilistic

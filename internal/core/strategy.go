@@ -53,6 +53,11 @@ type State struct {
 	errDirty bool
 	moveEval MoveEvaluator
 	moveBuf  []int
+
+	// Finite-domain fast paths (fd.go); nil on the permutation path.
+	fd         FDProblem
+	assignEval AssignEvaluator
+	assignBuf  []int
 }
 
 // Frozen reports whether variable i is tabu at the current iteration.
@@ -133,6 +138,7 @@ func (s *State) bindProblem(p Problem, n int) {
 		s.moveEval = me
 		s.moveBuf = make([]int, n)
 	}
+	s.bindFD(p, n)
 }
 
 // NewState builds a standalone State over p — a harness for strategy

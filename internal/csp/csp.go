@@ -29,6 +29,9 @@ type Model struct {
 	n           int
 	valueOffset int
 	cons        []constraint
+	// domains holds the explicit per-variable finite domains set via
+	// SetDomain/SetDomainRange; consulted only by CompileFD.
+	domains map[int][]int
 }
 
 // constraint is the internal representation: linear when fn is nil.

@@ -59,6 +59,31 @@ type boardHub struct {
 	mHTTPSyncs atomic.Int64
 	mRxBytes   atomic.Int64
 	mTxBytes   atomic.Int64
+
+	// Per-job HTTP sync counts, keyed by board job id. Server-side
+	// accounting lags client completion — a straggler POST from a
+	// finished run can be handled after its coordinator Run returned —
+	// so tests that pin "this run never fell back to HTTP" must scope
+	// the assertion to the run's own job rather than the global total.
+	syncMu     sync.Mutex
+	syncsByJob map[string]int64
+}
+
+// countJobSync records one HTTP sync against a board job id.
+func (h *boardHub) countJobSync(jobID string) {
+	h.syncMu.Lock()
+	if h.syncsByJob == nil {
+		h.syncsByJob = make(map[string]int64)
+	}
+	h.syncsByJob[jobID]++
+	h.syncMu.Unlock()
+}
+
+// syncsFor reports the HTTP sync count recorded for one board job id.
+func (h *boardHub) syncsFor(jobID string) int64 {
+	h.syncMu.Lock()
+	defer h.syncMu.Unlock()
+	return h.syncsByJob[jobID]
 }
 
 // boardEntry is one job's global board plus the probe instance the hub
@@ -102,7 +127,14 @@ func (e *boardEntry) merge(valid bool, cost int, cfg []int) (improved bool, err 
 		// cost recomputation per sync.
 		return false, nil
 	}
-	if len(cfg) != e.probe.Size() || perm.Validate(cfg) != nil {
+	// Structural verification is encoding-aware: permutation problems
+	// demand a permutation of the instance size, finite-domain problems
+	// a configuration inside every variable's domain.
+	if fd, ok := e.probe.(core.FDProblem); ok {
+		if err := core.ValidateFDConfig(fd, cfg); err != nil {
+			return false, fmt.Errorf("board sync configuration rejected: %v", err)
+		}
+	} else if len(cfg) != e.probe.Size() || perm.Validate(cfg) != nil {
 		return false, errors.New("board sync configuration is not a permutation of the job's instance size")
 	}
 	actual := e.probe.Cost(cfg)
@@ -201,6 +233,7 @@ func (h *boardHub) ensureServerLocked() error {
 // configuration it already holds.
 func (h *boardHub) handleSync(w http.ResponseWriter, r *http.Request) {
 	h.mHTTPSyncs.Add(1)
+	h.countJobSync(r.PathValue("id"))
 	if r.ContentLength > 0 {
 		h.mRxBytes.Add(r.ContentLength)
 	}

@@ -70,6 +70,9 @@ type JobSpec struct {
 	// registry.
 	Problem string
 	Size    int
+	// Params carries benchmark-specific problem parameters, shipped
+	// verbatim to every shard (finite-domain benchmarks' knobs).
+	Params map[string]int
 	// Walkers is the whole job's walker count k.
 	Walkers int
 	// Seed is the master seed; walker w of the job draws seed w of the
@@ -278,11 +281,12 @@ func (c *Coordinator) RunVirtual(ctx context.Context, job JobSpec) (multiwalk.Re
 // the registry — and the options' Progress hook, which cannot stream
 // across processes, is replayed from the final per-walker statistics
 // so the scheduler's throughput counters stay truthful.
-func (c *Coordinator) RunJob(ctx context.Context, problem string, size int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error) {
+func (c *Coordinator) RunJob(ctx context.Context, problem string, size int, params map[string]int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error) {
 	_ = factory
 	res, err := c.Run(ctx, JobSpec{
 		Problem:   problem,
 		Size:      size,
+		Params:    params,
 		Walkers:   opts.Walkers,
 		Seed:      opts.Seed,
 		Engine:    opts.Engine,
@@ -386,7 +390,7 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 		// The probe instance lets the board server verify every publish
 		// against the actual problem (see boardHub.handleSync); building
 		// it here also validates the job's problem/size coordinator-side.
-		probe, err := problems.New(job.Problem, job.Size)
+		probe, err := problems.NewWithParams(job.Problem, job.Size, job.Params)
 		if err != nil {
 			return multiwalk.Result{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
@@ -452,6 +456,7 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 				Mode:         mode,
 				Problem:      job.Problem,
 				Size:         job.Size,
+				Params:       job.Params,
 				Seed:         job.Seed,
 				TotalWalkers: job.Walkers,
 				Start:        a.start,

@@ -461,3 +461,80 @@ func TestServiceBackendContract(t *testing.T) {
 		Close()
 	} = (*Coordinator)(nil)
 }
+
+// TestDistributedFDProblem is the finite-domain acceptance test: a
+// sharded timetable job — with explicit problem params shipped in the
+// run request — reproduces the single-process virtual run bit for bit,
+// and a dependent (exchange) run cooperates across workers on the FD
+// encoding without tripping the board's configuration verification.
+func TestDistributedFDProblem(t *testing.T) {
+	f := newFleet(t, 2, 2, 1)
+	params := map[string]int{"slots": 6, "rooms": 4, "teachers": 4}
+	const size, k = 20, 5
+	engine := func() core.Options {
+		p, err := problems.NewWithParams("timetable", size, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eo := core.TunedOptions(p)
+		eo.MaxIterations = 2000
+		eo.MaxRuns = 1
+		return eo
+	}()
+	seed := uint64(0xFD2012)
+
+	factory, err := problems.NewFactoryParams("timetable", size, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := multiwalk.RunVirtual(context.Background(), multiwalk.Factory(factory), multiwalk.Options{
+		Walkers: k, Seed: seed, Engine: engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distd, err := f.coord.RunVirtual(context.Background(), JobSpec{
+		Problem: "timetable", Size: size, Params: params, Walkers: k, Seed: seed, Engine: engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Winner != distd.Winner || local.Solved != distd.Solved ||
+		local.TotalIterations != distd.TotalIterations {
+		t.Fatalf("FD aggregate diverged:\nlocal: %+v\ndist:  %+v", local, distd)
+	}
+	if !reflect.DeepEqual(local.Solution, distd.Solution) {
+		t.Fatalf("FD solution diverged")
+	}
+	sameWalkers(t, "timetable", local.Walkers, distd.Walkers)
+
+	// Unknown params are a typed protocol rejection at the worker.
+	_, err = f.coord.RunVirtual(context.Background(), JobSpec{
+		Problem: "timetable", Size: size, Params: map[string]int{"professors": 1}, Walkers: 1, Seed: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "professors") {
+		t.Fatalf("bad params accepted by fleet: %v", err)
+	}
+
+	// Dependent run: cross-worker cooperation on the FD encoding. The
+	// board probe must verify FD configurations (not permutations) or
+	// every publish would be rejected.
+	exch, err := f.coord.Run(context.Background(), JobSpec{
+		Problem: "timetable", Size: size, Params: params, Walkers: 4, Seed: seed,
+		Engine:   engine,
+		Exchange: multiwalk.ExchangeOptions{Enabled: true, Period: 16, AdoptFactor: 1.5, PerturbSwaps: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exch.Solved {
+		t.Fatalf("dependent FD fleet run unsolved: %+v", exch)
+	}
+	probe, err := problems.NewWithParams("timetable", size, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ValidateFDConfig(probe.(core.FDProblem), exch.Solution); err != nil {
+		t.Fatalf("fleet solution outside domains: %v", err)
+	}
+}

@@ -58,7 +58,7 @@ func TestDistExchangeCrossWorkerAdoption(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	res, err := coord.RunJob(ctx, "magic-square", 14, nil, multiwalk.Options{
+	res, err := coord.RunJob(ctx, "magic-square", 14, nil, nil, multiwalk.Options{
 		Walkers: 3,
 		Seed:    20260729,
 		Portfolio: []multiwalk.PortfolioEntry{

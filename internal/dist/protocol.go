@@ -78,6 +78,7 @@ const (
 	maxWalkers        = 1 << 20
 	maxSize           = 1 << 20
 	maxPortfolio      = 4096
+	maxProblemParams  = 256
 	maxInitialConfig  = 1 << 20
 	maxRequestBodyLen = 8 << 20
 	maxBoardURL       = 4096
@@ -101,6 +102,11 @@ type RunRequest struct {
 	// never cross the wire, only names and statistics).
 	Problem string `json:"problem"`
 	Size    int    `json:"size,omitempty"`
+	// Params carries benchmark-specific problem parameters (the
+	// finite-domain benchmarks' knobs, e.g. timetable's slots/rooms/
+	// teachers). The worker's factory construction validates them
+	// semantically; the protocol layer caps their number only.
+	Params map[string]int `json:"params,omitempty"`
 	// Seed is the job's master seed. Workers derive the full
 	// TotalWalkers-long seed sequence and use the slice their shard
 	// covers, so seeds never depend on the partition.
@@ -251,6 +257,8 @@ type WalkerStatWire struct {
 	Strategy       string `json:"strategy,omitempty"`
 	Iterations     int64  `json:"iterations"`
 	Swaps          int64  `json:"swaps"`
+	Assigns        int64  `json:"assigns,omitempty"`
+	Flips          int64  `json:"flips,omitempty"`
 	LocalMinima    int64  `json:"local_minima"`
 	PlateauEscapes int64  `json:"plateau_escapes"`
 	Resets         int64  `json:"resets"`
@@ -329,6 +337,12 @@ func wireRunSpec(req *RunRequest) wire.RunSpec {
 		BoardStream: req.BoardStream,
 		BoardJob:    req.BoardJob,
 	}
+	if len(req.Params) > 0 {
+		spec.Params = make(map[string]int64, len(req.Params))
+		for k, v := range req.Params {
+			spec.Params[k] = int64(v)
+		}
+	}
 	for i := range req.Portfolio {
 		spec.Portfolio = append(spec.Portfolio, wire.PortfolioSpec{
 			Weight: int64(req.Portfolio[i].Weight),
@@ -362,6 +376,12 @@ func runRequestFromWire(spec *wire.RunSpec) RunRequest {
 		Board:       spec.Board,
 		BoardStream: spec.BoardStream,
 		BoardJob:    spec.BoardJob,
+	}
+	if len(spec.Params) > 0 {
+		req.Params = make(map[string]int, len(spec.Params))
+		for k, v := range spec.Params {
+			req.Params[k] = int(v)
+		}
 	}
 	for i := range spec.Portfolio {
 		req.Portfolio = append(req.Portfolio, PortfolioSpec{
@@ -429,6 +449,9 @@ func (req *RunRequest) Validate() error {
 	}
 	if req.Size < 0 || req.Size > maxSize {
 		return fmt.Errorf("%w: size %d outside [0, %d]", ErrBadRequest, req.Size, maxSize)
+	}
+	if len(req.Params) > maxProblemParams {
+		return fmt.Errorf("%w: %d problem parameters exceed %d", ErrBadRequest, len(req.Params), maxProblemParams)
 	}
 	if req.TotalWalkers < 1 || req.TotalWalkers > maxWalkers {
 		return fmt.Errorf("%w: total_walkers %d outside [1, %d]", ErrBadRequest, req.TotalWalkers, maxWalkers)
@@ -561,6 +584,8 @@ func wireStat(ws multiwalk.WalkerStat) WalkerStatWire {
 		Strategy:       r.Strategy,
 		Iterations:     r.Iterations,
 		Swaps:          r.Swaps,
+		Assigns:        r.Assigns,
+		Flips:          r.Flips,
 		LocalMinima:    r.LocalMinima,
 		PlateauEscapes: r.PlateauEscapes,
 		Resets:         r.Resets,
@@ -584,6 +609,8 @@ func statFromWire(w WalkerStatWire) multiwalk.WalkerStat {
 			Strategy:       w.Strategy,
 			Iterations:     w.Iterations,
 			Swaps:          w.Swaps,
+			Assigns:        w.Assigns,
+			Flips:          w.Flips,
 			LocalMinima:    w.LocalMinima,
 			PlateauEscapes: w.PlateauEscapes,
 			Resets:         w.Resets,

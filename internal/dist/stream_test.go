@@ -12,15 +12,18 @@ import (
 
 // streamFleet stands up n single-slot streaming workers plus a
 // streaming coordinator — the exchangeFleet topology with the binary
-// control plane negotiated everywhere.
-func streamFleet(t *testing.T, n int) *Coordinator {
+// control plane negotiated everywhere. The workers are returned too so
+// stream-lifecycle tests can observe their connection pools.
+func streamFleet(t *testing.T, n int) (*Coordinator, []*Worker) {
 	t.Helper()
 	urls := make([]string, 0, n)
+	workers := make([]*Worker, 0, n)
 	for i := 0; i < n; i++ {
 		wk := NewWorker(WorkerConfig{Slots: 1, Stream: true})
 		srv := httptest.NewServer(wk.Handler())
 		t.Cleanup(func() { srv.Close(); wk.Close() })
 		urls = append(urls, srv.URL)
+		workers = append(workers, wk)
 	}
 	coord, err := NewCoordinator(CoordinatorConfig{
 		Workers:   urls,
@@ -31,7 +34,7 @@ func streamFleet(t *testing.T, n int) *Coordinator {
 		t.Fatal(err)
 	}
 	t.Cleanup(coord.Close)
-	return coord
+	return coord, workers
 }
 
 // exchangeJob is the PR 5 cross-worker adoption matrix: one adaptive
@@ -62,7 +65,7 @@ func exchangeJob(t *testing.T) JobSpec {
 // crossing worker boundaries while the board moves exclusively over
 // the persistent stream — zero per-tick HTTP board POSTs.
 func TestDistStreamExchangeCrossWorkerAdoption(t *testing.T) {
-	coord := streamFleet(t, 3)
+	coord, _ := streamFleet(t, 3)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
@@ -107,7 +110,7 @@ func streamConnCount(h *boardHub) int {
 // a correctness dependency. The next run re-dials fresh and is fully
 // streamed again (no new HTTP syncs).
 func TestDistStreamFallbackToHTTP(t *testing.T) {
-	coord := streamFleet(t, 2)
+	coord, workers := streamFleet(t, 2)
 
 	engine := tunedEngine(t, "costas", 16)
 	engine.MaxIterations = 60_000
@@ -148,9 +151,34 @@ func TestDistStreamFallbackToHTTP(t *testing.T) {
 		t.Fatalf("Completed = %d, want 2 (fallback must keep the shards alive)", res.Completed)
 	}
 
+	// Wait for every worker to notice its severed connection and drop
+	// the dead session from its pool. A run started before that races
+	// the readLoop's failure detection: join can hand it the stale
+	// session (the subscribe write lands in a kernel buffer that only
+	// RSTs later) and the run would — correctly, by design — degrade
+	// to HTTP sync, which is not the behavior this half of the test
+	// pins.
+	for _, wk := range workers {
+		for {
+			wk.streams.mu.Lock()
+			live := len(wk.streams.conns)
+			wk.streams.mu.Unlock()
+			if live == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("worker never dropped its severed stream session")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
 	// Second run: the worker pools dropped the dead sessions, so the
-	// fleet re-dials and streams again — no new HTTP board syncs.
-	before := coord.BoardHTTPSyncs()
+	// fleet re-dials and streams again — no HTTP board syncs against
+	// ITS board. The assertion is scoped per job because server-side
+	// accounting lags client completion: a run-1 straggler POST (its
+	// client long gone after the sever) can still be handled here, and
+	// it says nothing about run 2's transport.
 	res2, err := coord.Run(context.Background(), job)
 	if err != nil {
 		t.Fatalf("post-sever run errored: %v", err)
@@ -158,8 +186,8 @@ func TestDistStreamFallbackToHTTP(t *testing.T) {
 	if res2.Completed != 2 {
 		t.Fatalf("post-sever run Completed = %d, want 2", res2.Completed)
 	}
-	if after := coord.BoardHTTPSyncs(); after != before {
-		t.Fatalf("post-sever run performed %d HTTP board syncs, want 0 (workers should have re-dialed the stream)", after-before)
+	if n := coord.boards.syncsFor("job000002"); n != 0 {
+		t.Fatalf("post-sever run performed %d HTTP board syncs, want 0 (workers should have re-dialed the stream)", n)
 	}
 }
 

@@ -276,7 +276,7 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	factory, err := problems.NewFactory(req.Problem, req.Size)
+	factory, err := problems.NewFactoryParams(req.Problem, req.Size, req.Params)
 	if err != nil {
 		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return

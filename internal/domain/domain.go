@@ -1,0 +1,254 @@
+// Package domain provides per-variable finite domains and a pre-search
+// domain-reduction pass for the finite-domain (FD) encoding layer.
+//
+// The permutation benchmarks of the PPoPP 2012 study never need this:
+// their configurations are permutations of [0, n) by construction. The
+// general Adaptive Search formulation of the same research program
+// (the Cell/BE and X10 lines) runs over arbitrary finite domains, and
+// production CP solvers always reduce domains before search: values no
+// assignment can use are removed up front, and a variable whose domain
+// empties proves the model unsatisfiable before any walker spends an
+// iteration.
+//
+// The package is deliberately small: a Domain is a sorted slice of
+// distinct ints, a Propagator filters domains, and Fixpoint drives a
+// set of propagators to quiescence. Propagators must be SOUND — they
+// may only remove values that no satisfying assignment uses — so
+// reduction never changes the solution set, and ErrUnsatisfiable is a
+// proof, not a heuristic.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnsatisfiable reports that domain reduction proved the model has
+// no solution (some variable's domain emptied, or a structural check
+// like all-different capacity failed). Callers match it with errors.Is.
+var ErrUnsatisfiable = errors.New("domain: model is unsatisfiable")
+
+// Domain is the finite domain of one variable: a sorted slice of
+// distinct ints. The zero value (nil) is the empty domain.
+type Domain []int
+
+// New builds a domain from arbitrary values, sorting and deduplicating.
+func New(vals ...int) Domain {
+	d := append(Domain(nil), vals...)
+	sort.Ints(d)
+	out := d[:0]
+	for i, v := range d {
+		if i == 0 || v != d[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Range returns the domain {lo, ..., hi}; an inverted range is empty.
+func Range(lo, hi int) Domain {
+	if hi < lo {
+		return nil
+	}
+	d := make(Domain, hi-lo+1)
+	for i := range d {
+		d[i] = lo + i
+	}
+	return d
+}
+
+// Index returns the position of v in d, or -1.
+func (d Domain) Index(v int) int {
+	i := sort.SearchInts(d, v)
+	if i < len(d) && d[i] == v {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether v is in d.
+func (d Domain) Contains(v int) bool { return d.Index(v) >= 0 }
+
+// Remove deletes v from d in place, returning the shrunk domain and
+// whether v was present.
+func (d Domain) Remove(v int) (Domain, bool) {
+	i := d.Index(v)
+	if i < 0 {
+		return d, false
+	}
+	return append(d[:i], d[i+1:]...), true
+}
+
+// Clone returns an independent copy of d.
+func (d Domain) Clone() Domain { return append(Domain(nil), d...) }
+
+// Min returns the smallest value; d must be non-empty.
+func (d Domain) Min() int { return d[0] }
+
+// Max returns the largest value; d must be non-empty.
+func (d Domain) Max() int { return d[len(d)-1] }
+
+// Propagator filters domains. Reduce removes values from doms that no
+// satisfying assignment can use, reports whether anything changed, and
+// returns an error wrapping ErrUnsatisfiable when it proves the model
+// has no solution. Implementations mutate doms entries in place
+// (reassigning shrunk slices) and must be sound: a value used by some
+// satisfying assignment is never removed.
+type Propagator interface {
+	Reduce(doms []Domain) (changed bool, err error)
+}
+
+// Fixpoint runs the propagators over doms until none changes anything
+// (domains only shrink, so the loop terminates). It returns an error
+// wrapping ErrUnsatisfiable if any domain is empty on entry or a
+// propagator proves unsatisfiability; on success every domain is
+// non-empty and reduced.
+func Fixpoint(doms []Domain, props []Propagator) error {
+	for i, d := range doms {
+		if len(d) == 0 {
+			return fmt.Errorf("variable %d has an empty domain: %w", i, ErrUnsatisfiable)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range props {
+			ch, err := p.Reduce(doms)
+			if err != nil {
+				return err
+			}
+			if ch {
+				changed = true
+			}
+		}
+	}
+	return nil
+}
+
+// Linear propagates bounds consistency over the linear equation
+//
+//	sum_k Coeffs[k] * x[Vars[k]] == Target.
+//
+// For each variable it computes the interval the other terms can reach
+// from their current domain bounds and removes every value whose own
+// contribution cannot complete the sum. This is a relaxation (it
+// reasons with intervals, not exact sums), so it is sound by
+// construction; it reports unsatisfiability only when a domain empties.
+type Linear struct {
+	Vars   []int
+	Coeffs []int
+	Target int
+}
+
+// Reduce implements Propagator.
+func (l Linear) Reduce(doms []Domain) (bool, error) {
+	if len(l.Vars) != len(l.Coeffs) {
+		return false, fmt.Errorf("domain: Linear has %d vars but %d coefficients", len(l.Vars), len(l.Coeffs))
+	}
+	if len(l.Vars) == 0 {
+		if l.Target != 0 {
+			return false, fmt.Errorf("empty linear equation with target %d: %w", l.Target, ErrUnsatisfiable)
+		}
+		return false, nil
+	}
+	// Per-term contribution bounds under the current domains.
+	los := make([]int, len(l.Vars))
+	his := make([]int, len(l.Vars))
+	sumLo, sumHi := 0, 0
+	for k, vi := range l.Vars {
+		d := doms[vi]
+		if len(d) == 0 {
+			return false, fmt.Errorf("variable %d has an empty domain: %w", vi, ErrUnsatisfiable)
+		}
+		c := l.Coeffs[k]
+		lo, hi := c*d.Min(), c*d.Max()
+		if c < 0 {
+			lo, hi = hi, lo
+		}
+		los[k], his[k] = lo, hi
+		sumLo += lo
+		sumHi += hi
+	}
+	changed := false
+	for k, vi := range l.Vars {
+		othersLo := sumLo - los[k]
+		othersHi := sumHi - his[k]
+		c := l.Coeffs[k]
+		d := doms[vi]
+		out := d[:0]
+		for _, v := range d {
+			// Keep v iff the remaining terms can still reach Target.
+			need := l.Target - c*v
+			if need >= othersLo && need <= othersHi {
+				out = append(out, v)
+			}
+		}
+		if len(out) != len(d) {
+			changed = true
+			doms[vi] = out
+			if len(out) == 0 {
+				return true, fmt.Errorf("variable %d has an empty domain: %w", vi, ErrUnsatisfiable)
+			}
+		}
+	}
+	return changed, nil
+}
+
+// Distinct propagates an all-different constraint over Vars: every
+// listed variable must take a distinct value. It applies singleton
+// propagation (an assigned variable's value is removed from its peers)
+// and the pigeonhole capacity check — more variables than distinct
+// values across their domains proves unsatisfiability. Duplicate
+// entries in Vars are ignored.
+type Distinct struct {
+	Vars []int
+}
+
+// Reduce implements Propagator.
+func (c Distinct) Reduce(doms []Domain) (bool, error) {
+	// Deduplicate the group so repeated registration of a variable
+	// neither miscounts capacity nor empties its own domain.
+	group := make([]int, 0, len(c.Vars))
+	seen := make(map[int]bool, len(c.Vars))
+	for _, vi := range c.Vars {
+		if !seen[vi] {
+			seen[vi] = true
+			group = append(group, vi)
+		}
+	}
+	// Pigeonhole capacity: |group| distinct values must exist.
+	union := make(map[int]struct{})
+	for _, vi := range group {
+		if len(doms[vi]) == 0 {
+			return false, fmt.Errorf("variable %d has an empty domain: %w", vi, ErrUnsatisfiable)
+		}
+		for _, v := range doms[vi] {
+			union[v] = struct{}{}
+		}
+	}
+	if len(group) > len(union) {
+		return false, fmt.Errorf("all-different over %d variables with only %d values: %w", len(group), len(union), ErrUnsatisfiable)
+	}
+	changed := false
+	for _, vi := range group {
+		if len(doms[vi]) != 1 {
+			continue
+		}
+		v := doms[vi][0]
+		for _, vj := range group {
+			if vj == vi {
+				continue
+			}
+			d, removed := doms[vj].Remove(v)
+			if !removed {
+				continue
+			}
+			changed = true
+			doms[vj] = d
+			if len(d) == 0 {
+				return true, fmt.Errorf("variable %d has an empty domain: %w", vj, ErrUnsatisfiable)
+			}
+		}
+	}
+	return changed, nil
+}

@@ -92,8 +92,18 @@ func (b *localBoard) Snapshot() (cost int, cfg []int, ok bool) {
 // teleport to a perturbed copy of the elite configuration; if the board
 // proves the job solved elsewhere (best cost 0), stop and mark the
 // walker Yielded so accounting can tell it from an external cancel.
-func boardMonitor(b Board, stat *WalkerStat, x ExchangeOptions, n int, seed uint64) func(int64, int, []int) core.Directive {
+//
+// The perturbation is encoding-aware: permutation problems scramble the
+// elite with random transpositions (which preserve the permutation
+// invariant), finite-domain problems reassign random variables to
+// random in-domain values (a transposition could leave a variable
+// holding a value outside its domain, which the engine's
+// ValidateFDConfig teleport gate would reject). PerturbSwaps counts
+// moves in both encodings.
+func boardMonitor(b Board, stat *WalkerStat, x ExchangeOptions, p core.Problem, seed uint64) func(int64, int, []int) core.Directive {
 	r := rng.New(seed ^ 0x9e3779b97f4a7c15) // walker-private perturbation stream
+	n := p.Size()
+	fd, isFD := p.(core.FDProblem)
 	perturb := x.PerturbSwaps
 	if perturb == 0 {
 		perturb = n / 16
@@ -114,7 +124,15 @@ func boardMonitor(b Board, stat *WalkerStat, x ExchangeOptions, n int, seed uint
 		}
 		// Adopt only when clearly lagging; cost==0 cannot be lagging.
 		if best > 0 && float64(cost) > x.AdoptFactor*float64(best) {
-			perm.RandomSwaps(elite, perturb, r)
+			if isFD {
+				for k := 0; k < perturb; k++ {
+					i := r.Intn(n)
+					d := fd.Domain(i)
+					elite[i] = d[r.Intn(len(d))]
+				}
+			} else {
+				perm.RandomSwaps(elite, perturb, r)
+			}
 			stat.Adoptions++
 			return core.Directive{SetConfig: elite}
 		}

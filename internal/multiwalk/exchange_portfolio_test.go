@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/perm"
+	"repro/internal/problems"
 )
 
 // inversionsProblem is a synthetic engine problem built for exchange
@@ -144,7 +145,8 @@ func TestExchangeAdoptThresholdBoundary(t *testing.T) {
 
 	stat := &WalkerStat{}
 	x := ExchangeOptions{Enabled: true, Period: 10, AdoptFactor: 2, PerturbSwaps: 3}
-	mon := boardMonitor(b, stat, x, 8, 1)
+	mp, _ := problems.NewQueens(8)
+	mon := boardMonitor(b, stat, x, mp, 1)
 
 	cfg := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	// cost 10 == 2*5: on the boundary, not strictly lagging.

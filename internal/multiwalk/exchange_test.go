@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/problems"
 )
 
 // TestExchangeCadenceNotQuantized is the regression test for the
@@ -227,4 +228,72 @@ func solveOnce(t *testing.T, f Factory, eo core.Options, seed uint64) []int {
 		t.Fatalf("probe solve failed: %v %+v", err, res)
 	}
 	return res.Solution
+}
+
+// TestBoardMonitorFDPerturbation pins the encoding-aware teleport: on a
+// finite-domain problem the perturbed elite must stay inside every
+// variable's domain (a transposition-based perturbation would not),
+// and the board's stored elite must be untouched.
+func TestBoardMonitorFDPerturbation(t *testing.T) {
+	p, err := problems.NewTimetable(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ReduceDomains(); err != nil {
+		t.Fatal(err)
+	}
+	n := p.Size()
+	elite := make([]int, n)
+	for i := range elite {
+		elite[i] = p.Domain(i)[0]
+	}
+	b := NewLocalBoard()
+	b.Publish(1, elite)
+
+	stat := &WalkerStat{}
+	x := ExchangeOptions{Enabled: true, Period: 10, AdoptFactor: 2, PerturbSwaps: 5}
+	mon := boardMonitor(b, stat, x, p, 3)
+
+	cfg := append([]int(nil), elite...)
+	d := mon(10, 50, cfg) // cost 50 > 2*1: adopt
+	if d.SetConfig == nil || stat.Adoptions != 1 {
+		t.Fatalf("lagging FD walker did not adopt: %+v (adoptions %d)", d, stat.Adoptions)
+	}
+	if err := core.ValidateFDConfig(p, d.SetConfig); err != nil {
+		t.Fatalf("FD perturbation left the domains: %v", err)
+	}
+	_, cur, _ := b.Snapshot()
+	for i, v := range elite {
+		if cur[i] != v {
+			t.Fatalf("adoption perturbed the board's elite at %d: %v", i, cur)
+		}
+	}
+}
+
+// TestExchangeRunOnFDProblem runs a dependent multi-walk end to end on
+// the finite-domain benchmark: teleports must pass the engine's FD
+// config validation and the run must still solve.
+func TestExchangeRunOnFDProblem(t *testing.T) {
+	factory := func() (core.Problem, error) { return problems.NewTimetable(20, nil) }
+	probe, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.TunedOptions(probe)
+	eng.MaxIterations = 20000
+	res, err := Run(context.Background(), factory, Options{
+		Walkers:  4,
+		Seed:     11,
+		Engine:   eng,
+		Exchange: ExchangeOptions{Enabled: true, Period: 16, AdoptFactor: 1.5, PerturbSwaps: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("dependent FD run unsolved: %+v", res)
+	}
+	if err := core.ValidateFDConfig(probe.(core.FDProblem), res.Solution); err != nil {
+		t.Fatalf("solution outside domains: %v", err)
+	}
 }

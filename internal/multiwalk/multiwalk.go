@@ -557,7 +557,7 @@ func runWalker(ctx context.Context, factory Factory, eo core.Options, exch Excha
 		if exch.Period < int64(eo.CheckEvery) {
 			eo.CheckEvery = int(exch.Period)
 		}
-		monitors = append(monitors, boardMonitor(board, &stat, exch, p.Size(), seed))
+		monitors = append(monitors, boardMonitor(board, &stat, exch, p, seed))
 	}
 	if progress != nil {
 		monitors = append(monitors, func(iter int64, cost int, _ []int) core.Directive {

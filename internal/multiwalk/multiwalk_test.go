@@ -280,7 +280,8 @@ func TestMonitorDirectives(t *testing.T) {
 	b := NewLocalBoard()
 	stat := &WalkerStat{}
 	x := ExchangeOptions{Enabled: true, Period: 100, AdoptFactor: 2, PerturbSwaps: 2}
-	mon := boardMonitor(b, stat, x, 8, 42)
+	mp, _ := problems.NewQueens(8)
+	mon := boardMonitor(b, stat, x, mp, 42)
 
 	cfg := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	// First call publishes my state; board best = my cost: no directive.

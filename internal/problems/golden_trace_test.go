@@ -35,6 +35,11 @@ type goldenTrace struct {
 	Resets         int64  `json:"resets"`
 	Restarts       int    `json:"restarts"`
 	SolutionFNV    uint64 `json:"solution_fnv,omitempty"`
+	// Finite-domain move counters: omitempty keeps the permutation
+	// entries byte-identical to the pre-FD golden file (their assign
+	// counts are always 0).
+	Assigns int64 `json:"assigns,omitempty"`
+	Flips   int64 `json:"flips,omitempty"`
 }
 
 // goldenSizes picks a small, valid instance per registered benchmark
@@ -49,6 +54,7 @@ var goldenSizes = map[string]int{
 	"partition":      16,
 	"perfect-square": 7,
 	"queens":         12,
+	"timetable":      20,
 }
 
 const (
@@ -108,6 +114,8 @@ func runGoldenCase(t *testing.T, problem, strategy string) goldenTrace {
 		Resets:         res.Resets,
 		Restarts:       res.Restarts,
 		SolutionFNV:    solutionFNV(res.Solution),
+		Assigns:        res.Assigns,
+		Flips:          res.Flips,
 	}
 }
 

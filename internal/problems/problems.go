@@ -19,6 +19,7 @@
 package problems
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,12 @@ import (
 // incremental state.
 type Factory func() (core.Problem, error)
 
+// ErrBadParams marks a construction request with unknown or invalid
+// problem parameters (the params map of finite-domain benchmarks).
+// Callers match it with errors.Is; the service layer maps it onto its
+// own typed bad-request error.
+var ErrBadParams = errors.New("problems: invalid problem parameters")
+
 // builder couples a constructor validating its size parameter with
 // registry metadata.
 type builder struct {
@@ -38,6 +45,10 @@ type builder struct {
 	defaultSize int
 	paperSize   int // instance size used in the paper's experiments
 	build       func(n int) (core.Problem, error)
+	// buildParams, when non-nil, is the params-aware constructor used by
+	// finite-domain benchmarks (build must then wrap it with nil
+	// params). Benchmarks without it reject any non-empty params map.
+	buildParams func(n int, params map[string]int) (core.Problem, error)
 }
 
 // registry holds all known benchmark encodings, keyed by name.
@@ -83,12 +94,28 @@ func Describe(name string) (Info, error) {
 // New constructs a single instance of the named benchmark with the given
 // size parameter. size <= 0 selects the benchmark's default size.
 func New(name string, size int) (core.Problem, error) {
+	return NewWithParams(name, size, nil)
+}
+
+// NewWithParams constructs a single instance of the named benchmark
+// with the given size and additional problem parameters (the
+// finite-domain benchmarks' knobs, e.g. timetable's slots/rooms/
+// teachers). A nil or empty map selects the benchmark's defaults;
+// benchmarks that take no parameters reject a non-empty map with an
+// error wrapping ErrBadParams.
+func NewWithParams(name string, size int, params map[string]int) (core.Problem, error) {
 	b, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("problems: unknown benchmark %q (known: %v)", name, Names())
 	}
 	if size <= 0 {
 		size = b.defaultSize
+	}
+	if b.buildParams != nil {
+		return b.buildParams(size, params)
+	}
+	if len(params) > 0 {
+		return nil, fmt.Errorf("%w: benchmark %q takes no parameters", ErrBadParams, name)
 	}
 	return b.build(size)
 }
@@ -96,6 +123,13 @@ func New(name string, size int) (core.Problem, error) {
 // NewFactory returns a Factory producing fresh instances of the named
 // benchmark; the size parameter is validated once, eagerly.
 func NewFactory(name string, size int) (Factory, error) {
+	return NewFactoryParams(name, size, nil)
+}
+
+// NewFactoryParams is the params-aware NewFactory: size and params are
+// validated once, eagerly, and every Factory call builds a fresh
+// instance with the same settings.
+func NewFactoryParams(name string, size int, params map[string]int) (Factory, error) {
 	b, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("problems: unknown benchmark %q (known: %v)", name, Names())
@@ -103,11 +137,11 @@ func NewFactory(name string, size int) (Factory, error) {
 	if size <= 0 {
 		size = b.defaultSize
 	}
-	if _, err := b.build(size); err != nil {
+	if _, err := NewWithParams(name, size, params); err != nil {
 		return nil, err
 	}
 	n := size
-	return func() (core.Problem, error) { return b.build(n) }, nil
+	return func() (core.Problem, error) { return NewWithParams(name, n, params) }, nil
 }
 
 // abs is the integer absolute value used throughout the encodings.

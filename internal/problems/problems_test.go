@@ -306,7 +306,7 @@ func TestConstructorValidation(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"all-interval", "alpha", "costas", "langford", "magic-square", "partition", "perfect-square", "queens"}
+	want := []string{"all-interval", "alpha", "costas", "langford", "magic-square", "partition", "perfect-square", "queens", "timetable"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

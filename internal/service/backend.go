@@ -24,12 +24,12 @@ type Backend interface {
 	// Slots is the backend's total walker-slot capacity; the
 	// scheduler's admission control counts against it.
 	Slots() int
-	// RunJob executes one job. problem/size name the instance for
-	// backends that rebuild it elsewhere; factory serves in-process
+	// RunJob executes one job. problem/size/params name the instance
+	// for backends that rebuild it elsewhere; factory serves in-process
 	// backends. opts carries walker count, seed, engine options,
 	// portfolio and the Progress hook (which remote backends may
 	// replay from final statistics instead of streaming).
-	RunJob(ctx context.Context, problem string, size int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error)
+	RunJob(ctx context.Context, problem string, size int, params map[string]int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error)
 	// Close releases backend resources once the scheduler has drained.
 	Close()
 }
@@ -45,6 +45,6 @@ func (b *localBackend) Name() string { return "local" }
 func (b *localBackend) Slots() int   { return b.slots }
 func (b *localBackend) Close()       {}
 
-func (b *localBackend) RunJob(ctx context.Context, problem string, size int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error) {
+func (b *localBackend) RunJob(ctx context.Context, problem string, size int, params map[string]int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error) {
 	return multiwalk.Run(ctx, multiwalk.Factory(factory), opts)
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/problems"
 )
 
@@ -23,7 +24,9 @@ import (
 //	GET  /metrics               expvar-style counters (Stats)
 //
 // Error responses are {"error": "..."} with ErrQueueFull mapped to 429,
-// ErrBadRequest to 400, ErrNotFound to 404 and ErrClosed to 503.
+// ErrBadRequest to 400, ErrNotFound to 404, ErrClosed to 503 and a
+// domain-reduction unsatisfiability proof (domain.ErrUnsatisfiable) to
+// 422.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +159,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, domain.ErrUnsatisfiable):
+		// The model is well-formed but provably has no solution: the
+		// request was understood, the entity cannot be processed.
+		code = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrBadRequest):

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -289,5 +290,71 @@ func TestHTTPLoad(t *testing.T) {
 		if err := <-errs; err != nil && !strings.Contains(err.Error(), "EOF") {
 			t.Error(err)
 		}
+	}
+}
+
+// TestHTTPProblemParams covers the finite-domain params plumbing end to
+// end: a timetable job with explicit params solves through POST
+// /v1/solve, unknown or invalid params are typed 400 rejections
+// (ErrBadParams at the scheduler layer), and a provably unsatisfiable
+// instance is a synchronous 422 — the admission-time domain-reduction
+// proof, not an asynchronous job failure.
+func TestHTTPProblemParams(t *testing.T) {
+	s, srv := newTestServer(t, Config{Slots: 4})
+
+	// Happy path: explicit params shape the instance; the job solves.
+	req := map[string]any{
+		"problem": "timetable", "size": 20, "walkers": 2, "seed": 9, "wait": true,
+		"params": map[string]int{"slots": 6, "rooms": 4, "teachers": 4},
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateSolved || job.Result == nil || !job.Result.Solved {
+		t.Fatalf("params solve: %+v", job)
+	}
+	if len(job.Result.Solution) != 20 {
+		t.Fatalf("solution length %d, want 20", len(job.Result.Solution))
+	}
+	if job.Request.Params["slots"] != 6 {
+		t.Fatalf("params not retained on the job snapshot: %+v", job.Request)
+	}
+
+	// Typed param rejections: 400 over HTTP, ErrBadParams at the API.
+	badCases := []map[string]any{
+		{"problem": "timetable", "params": map[string]int{"professors": 3}},
+		{"problem": "timetable", "params": map[string]int{"rooms": 0}},
+		{"problem": "queens", "params": map[string]int{"slots": 2}},
+	}
+	for i, c := range badCases {
+		resp, body := postJSON(t, srv.URL+"/v1/solve", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad params case %d: status = %d, want 400 (%s)", i, resp.StatusCode, body)
+		}
+	}
+	var reqBad Request
+	reqBad.Problem = "timetable"
+	reqBad.Params = map[string]int{"professors": 3}
+	if _, err := s.Submit(reqBad); !errors.Is(err, ErrBadParams) || !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Submit bad params: err = %v, want ErrBadParams wrapping ErrBadRequest", err)
+	}
+
+	// Unsatisfiable: the reduction proof surfaces synchronously as 422.
+	unsat := map[string]any{
+		"problem": "timetable", "size": 3,
+		"params": map[string]int{"rooms": 1, "slots": 2, "teachers": 3},
+	}
+	resp, body = postJSON(t, srv.URL+"/v1/solve", unsat)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unsat status = %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e["error"], "unsatisfiable") {
+		t.Fatalf("unsat error payload: %s", body)
 	}
 }

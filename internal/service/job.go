@@ -58,6 +58,12 @@ var (
 	ErrNotFound = errors.New("service: unknown job")
 	// ErrClosed reports a submission after Close.
 	ErrClosed = errors.New("service: scheduler closed")
+	// ErrBadParams marks a request whose problem parameters the
+	// benchmark rejected (unknown key, non-positive value, params on a
+	// benchmark that takes none). It wraps ErrBadRequest so the HTTP
+	// layer still answers 400 while callers can distinguish the cause
+	// with errors.Is(err, ErrBadParams).
+	ErrBadParams = fmt.Errorf("%w: invalid problem parameters", ErrBadRequest)
 )
 
 // Request describes one solve job. The zero value of every optional
@@ -68,6 +74,12 @@ type Request struct {
 	// Size is the instance parameter; <= 0 selects the benchmark's
 	// default size.
 	Size int `json:"size,omitempty"`
+	// Params carries benchmark-specific problem parameters (the
+	// finite-domain benchmarks' knobs, e.g. timetable's slots/rooms/
+	// teachers). Unknown or invalid entries are rejected at admission
+	// with ErrBadParams; benchmarks that take no parameters reject a
+	// non-empty map.
+	Params map[string]int `json:"params,omitempty"`
 	// Walkers is the number of parallel walks; it is also the number of
 	// pool slots the job occupies while running. 0 selects 1; values
 	// above the pool size are rejected.
@@ -198,8 +210,11 @@ func (s *Scheduler) normalizeRequest(req *Request) (problems.Factory, multiwalk.
 	if req.Size <= 0 {
 		req.Size = info.DefaultSize
 	}
-	factory, err := problems.NewFactory(req.Problem, req.Size)
+	factory, err := problems.NewFactoryParams(req.Problem, req.Size, req.Params)
 	if err != nil {
+		if errors.Is(err, problems.ErrBadParams) {
+			return nil, zero, fmt.Errorf("%w: %v", ErrBadParams, err)
+		}
 		return nil, zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	if req.Walkers == 0 {
@@ -218,6 +233,16 @@ func (s *Scheduler) normalizeRequest(req *Request) (problems.Factory, multiwalk.
 	probe, err := factory()
 	if err != nil {
 		return nil, zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// Finite-domain instances run the domain-reduction pass on the
+	// probe at admission time: a provably unsatisfiable model is a
+	// synchronous typed rejection (HTTP 422), not a job every walker
+	// fails asynchronously. The engine still reduces each walker's own
+	// instance before search (reduction is idempotent).
+	if dr, ok := probe.(core.DomainReducer); ok {
+		if err := dr.ReduceDomains(); err != nil {
+			return nil, zero, fmt.Errorf("service: %w", err)
+		}
 	}
 	engine := core.TunedOptions(probe)
 	if req.MaxIterations > 0 {

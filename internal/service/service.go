@@ -449,7 +449,7 @@ func (s *Scheduler) runJob(j *job) {
 	s.mRunning.Add(1)
 	j.emit(ProgressEvent{JobID: j.id, State: StateRunning, Walker: -1})
 
-	res, err := s.cfg.Backend.RunJob(runCtx, j.req.Problem, j.req.Size, j.factory, j.opts)
+	res, err := s.cfg.Backend.RunJob(runCtx, j.req.Problem, j.req.Size, j.req.Params, j.factory, j.opts)
 	switch {
 	case err != nil:
 		s.finalize(j, StateFailed, nil, err)

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Protocol identity, exchanged in the Hello handshake.
@@ -76,6 +77,7 @@ const (
 	maxString = 4096
 	maxElems  = 1 << 20
 	maxSpecs  = 4096
+	maxParams = 256
 )
 
 // Typed decode errors.
@@ -164,6 +166,10 @@ type RunSpec struct {
 	Board        string
 	BoardStream  string
 	BoardJob     string
+	// Params carries benchmark-specific problem parameters (the
+	// finite-domain benchmarks' knobs). Encoded sorted by key so equal
+	// specs produce identical bytes.
+	Params map[string]int64
 }
 
 // EngineSpec is the binary form of the dist engine spec.
@@ -605,7 +611,18 @@ func AppendRunSpec(dst []byte, r *RunSpec) []byte {
 	dst = binary.AppendVarint(dst, r.Exchange.SyncMS)
 	dst = appendString(dst, r.Board)
 	dst = appendString(dst, r.BoardStream)
-	return appendString(dst, r.BoardJob)
+	dst = appendString(dst, r.BoardJob)
+	keys := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = binary.AppendVarint(dst, r.Params[k])
+	}
+	return dst
 }
 
 // DecodeRunSpec parses a RunSpec payload.
@@ -645,6 +662,17 @@ func DecodeRunSpec(p []byte) (RunSpec, error) {
 	r.Board = d.string()
 	r.BoardStream = d.string()
 	r.BoardJob = d.string()
+	pn := d.uvarint()
+	if pn > maxParams {
+		d.fail(fmt.Errorf("%w: %d problem parameters exceed %d", ErrMalformed, pn, maxParams))
+	}
+	if d.err == nil && pn > 0 {
+		r.Params = make(map[string]int64, pn)
+		for i := uint64(0); i < pn && d.err == nil; i++ {
+			k := d.string()
+			r.Params[k] = d.varint()
+		}
+	}
 	return r, d.finish()
 }
 
