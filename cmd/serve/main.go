@@ -5,6 +5,8 @@
 //
 //	serve -addr :8080 -slots 8 -queue 256 -default-timeout 30s -ttl 10m
 //	serve -addr :8080 -workers http://10.0.0.7:9101,http://10.0.0.8:9101
+//	serve -addr :8080 -fleet
+//	serve -addr :8080 -fleet -tenants batch=1:8,interactive=3
 //
 // With -workers, jobs are not executed in-process: the scheduler runs
 // on a distributed backend (internal/dist) that shards each job's
@@ -16,12 +18,31 @@
 // -board-advertise and -board-sync tune where it listens, how workers
 // reach it and how often their caches reconcile (see DESIGN.md §10).
 //
+// With -fleet, the worker set is dynamic instead of (or in addition
+// to) the static -workers list: workers enroll themselves through
+// /v1/fleet/register (cmd/worker -coordinator), heartbeat to stay
+// healthy, and leave gracefully via deregister. The coordinator probes
+// silent workers on -fleet-heartbeat, health-gates dispatch, and
+// re-runs shards lost to a dead worker on the survivors — walker
+// identity is global, so recovered runs are bit-for-bit what the lost
+// worker would have produced — up to -recover-attempts rounds. The
+// scheduler's admission pool resizes live as workers join and leave
+// (see DESIGN.md §13).
+//
+// -tenants assigns weighted-fair shares and slot quotas per tenant
+// (requests carry {"tenant": ..., "priority": ...}); unlisted tenants
+// get weight 1 and no cap.
+//
 // Endpoints:
 //
 //	POST /v1/solve              submit a job ({"wait": true} for sync)
 //	GET  /v1/jobs/{id}          job status / result
 //	POST /v1/jobs/{id}/cancel   cancel a job
 //	GET  /v1/problems           registered benchmarks and strategies
+//	POST /v1/fleet/register     worker self-registration (with -fleet)
+//	POST /v1/fleet/heartbeat    worker liveness push (with -fleet)
+//	POST /v1/fleet/deregister   graceful worker leave (with -fleet)
+//	GET  /v1/fleet              fleet membership table (with -fleet)
 //	GET  /healthz               liveness + pool headroom
 //	GET  /metrics               scheduler counters (JSON)
 //	GET  /debug/vars            process-wide expvar (memstats etc.)
@@ -56,6 +77,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -81,6 +103,10 @@ func run() error {
 		maxTimeout     = flag.Duration("max-timeout", 0, "cap on request-supplied deadlines (0 = 5m)")
 		ttl            = flag.Duration("ttl", 0, "finished-job retention (0 = 10m)")
 		workers        = flag.String("workers", "", "comma-separated worker base URLs; empty runs jobs in-process")
+		fleet          = flag.Bool("fleet", false, "accept dynamic worker registration on /v1/fleet/* (workers join and leave at runtime; may combine with -workers for a static seed)")
+		fleetHeartbeat = flag.Duration("fleet-heartbeat", 0, "fleet health-monitor probe period for silent workers (0 = 2s)")
+		recoverRounds  = flag.Int("recover-attempts", 0, "rounds of lost-shard re-execution on surviving workers before a job is truncated (0 = 2, negative disables recovery)")
+		tenants        = flag.String("tenants", "", "per-tenant admission policy as name=weight[:maxslots],... (e.g. batch=1:8,interactive=3); unlisted tenants get weight 1, no cap")
 		boardAddr      = flag.String("board-addr", "", "exchange-board listen address for distributed dependent runs (empty = 127.0.0.1:0; the server starts lazily on the first exchange job)")
 		boardAdvertise = flag.String("board-advertise", "", "base URL workers use to reach the exchange board (empty = derived from the board listener; set it when workers are on other hosts)")
 		boardSync      = flag.Duration("board-sync", 0, "worker board-cache sync period for dependent runs (0 = 50ms)")
@@ -95,23 +121,37 @@ func run() error {
 
 	streaming := *stream
 
+	tenantPolicies, err := parseTenants(*tenants)
+	if err != nil {
+		return err
+	}
+
 	var backend service.Backend
 	var coord *dist.Coordinator
-	if *workers != "" {
-		var err error
+	if *workers != "" || *fleet {
+		var workerURLs []string
+		if *workers != "" {
+			workerURLs = strings.Split(*workers, ",")
+		}
 		coord, err = dist.NewCoordinator(dist.CoordinatorConfig{
-			Workers:        strings.Split(*workers, ","),
-			BoardAddr:      *boardAddr,
-			BoardAdvertise: *boardAdvertise,
-			BoardSync:      *boardSync,
-			Stream:         streaming,
-			StreamAddr:     *boardStream,
+			Workers:           workerURLs,
+			Dynamic:           *fleet,
+			HeartbeatInterval: *fleetHeartbeat,
+			RecoverAttempts:   *recoverRounds,
+			BoardAddr:         *boardAddr,
+			BoardAdvertise:    *boardAdvertise,
+			BoardSync:         *boardSync,
+			Stream:            streaming,
+			StreamAddr:        *boardStream,
 		})
 		if err != nil {
 			return err
 		}
 		for _, w := range coord.Workers() {
 			log.Printf("serve: enrolled worker %s (%d slots)", w.URL, w.Slots)
+		}
+		if *fleet {
+			log.Printf("serve: dynamic fleet registration open on /v1/fleet/*")
 		}
 		backend = coord
 	}
@@ -123,6 +163,7 @@ func run() error {
 		MaxTimeout:     *maxTimeout,
 		ResultTTL:      *ttl,
 		Backend:        backend,
+		Tenants:        tenantPolicies,
 	})
 	expvar.Publish("scheduler", expvar.Func(func() any { return sched.Stats() }))
 
@@ -156,6 +197,13 @@ func run() error {
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(sched))
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if coord != nil && *fleet {
+		// Specific patterns take precedence over the "/" catch-all, so
+		// the fleet endpoints shadow the service handler here only.
+		fh := coord.FleetHandler()
+		mux.Handle("/v1/fleet", fh)
+		mux.Handle("/v1/fleet/", fh)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
@@ -190,6 +238,39 @@ func run() error {
 	return nil
 }
 
+// parseTenants parses the -tenants flag: a comma-separated list of
+// name=weight or name=weight:maxslots entries.
+func parseTenants(spec string) (map[string]service.TenantPolicy, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]service.TenantPolicy)
+	for _, entry := range strings.Split(spec, ",") {
+		name, policy, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants: entry %q is not name=weight[:maxslots]", entry)
+		}
+		weightStr, maxStr, capped := strings.Cut(policy, ":")
+		weight, err := strconv.Atoi(weightStr)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("-tenants: %s: weight %q is not a positive integer", name, weightStr)
+		}
+		pol := service.TenantPolicy{Weight: weight}
+		if capped {
+			maxSlots, err := strconv.Atoi(maxStr)
+			if err != nil || maxSlots < 1 {
+				return nil, fmt.Errorf("-tenants: %s: maxslots %q is not a positive integer", name, maxStr)
+			}
+			pol.MaxSlots = maxSlots
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("-tenants: duplicate tenant %q", name)
+		}
+		out[name] = pol
+	}
+	return out, nil
+}
+
 // startTelemetry spawns the FTDC-style sampler: one schema-delta
 // encoded sample of the scheduler's counters (plus the coordinator's
 // board traffic, when distributed) per period. Names are sorted so
@@ -220,6 +301,11 @@ func startTelemetry(f *os.File, every time.Duration, sched *service.Scheduler, c
 				telemetry.Metric{Name: "board_rx_bytes", Value: rx},
 				telemetry.Metric{Name: "board_tx_bytes", Value: tx},
 			)
+			// Fleet gauges and counters come from the coordinator's fixed
+			// metric set, so the FTDC schema stays stable across samples.
+			for name, v := range coord.BackendMetrics() {
+				metrics = append(metrics, telemetry.Metric{Name: name, Value: v})
+			}
 		}
 		sort.Slice(metrics, func(i, j int) bool { return metrics[i].Name < metrics[j].Name })
 		if err := rec.Record(time.Now(), metrics); err != nil {

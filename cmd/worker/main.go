@@ -7,6 +7,14 @@
 //
 //	worker -addr :9101 -slots 4
 //	worker -addr :9101 -slots 4 -stream -telemetry worker.ftdc
+//	worker -addr :9101 -coordinator http://host:8080 -advertise http://me:9101
+//
+// With -coordinator, the worker enrolls itself in the coordinator's
+// dynamic fleet: it registers at startup (retrying with backoff until
+// the coordinator is up), heartbeats on -heartbeat so the coordinator's
+// health monitor need not probe it, and deregisters — draining
+// gracefully — on shutdown. -advertise is the URL the coordinator
+// should dial back; it defaults to http://<hostname><addr port>.
 //
 // With -stream, dependent (exchange) shard runs negotiate streaming
 // board sync: the worker keeps one persistent multiplexed binary
@@ -34,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,6 +68,9 @@ func run() error {
 		stream         = flag.Bool("stream", false, "enable streaming board sync over the persistent binary transport (HTTP remains the fallback)")
 		telemetryPath  = flag.String("telemetry", "", "append FTDC-style per-walker telemetry frames to this file (empty = off)")
 		telemetryEvery = flag.Duration("telemetry-interval", time.Second, "telemetry sampling period")
+		coordinator    = flag.String("coordinator", "", "coordinator base URL to register with for dynamic-fleet membership (empty = static fleet, no registration)")
+		advertise      = flag.String("advertise", "", "worker base URL advertised to the coordinator (default http://<hostname><addr port>)")
+		heartbeat      = flag.Duration("heartbeat", 0, "heartbeat period when registered with a coordinator (0 = 2s)")
 	)
 	flag.Parse()
 
@@ -86,18 +98,45 @@ func run() error {
 		errc <- srv.ListenAndServe()
 	}()
 
+	var agent *dist.FleetAgent
+	if *coordinator != "" {
+		adv, err := advertiseURL(*advertise, *addr)
+		if err != nil {
+			return err
+		}
+		agent, err = dist.NewFleetAgent(dist.AgentConfig{
+			Coordinator: *coordinator,
+			Advertise:   adv,
+			Worker:      wk,
+			Interval:    *heartbeat,
+			Wire:        true,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("fleet agent: %w", err)
+		}
+		log.Printf("worker: enrolling with %s as %s", *coordinator, adv)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		if agent != nil {
+			agent.Close()
+		}
 		wk.Close()
 		return err
 	case sig := <-stop:
 		log.Printf("worker: %v — shutting down", sig)
 	}
 
-	// Cancel in-flight runs first so their handlers finish (delivering
-	// interrupted stats), then drain the listener.
+	// Leave the fleet first (the coordinator marks us draining and stops
+	// dispatching), then cancel in-flight runs so their handlers finish
+	// (delivering interrupted stats), then drain the listener.
+	if agent != nil {
+		agent.Close()
+	}
 	wk.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
@@ -106,4 +145,25 @@ func run() error {
 	}
 	log.Printf("worker: drained cleanly")
 	return nil
+}
+
+// advertiseURL resolves the base URL the coordinator dials back:
+// -advertise verbatim when set, otherwise http://<hostname><addr port>
+// (falling back to 127.0.0.1 when the hostname is unavailable).
+func advertiseURL(advertise, addr string) (string, error) {
+	if advertise != "" {
+		return advertise, nil
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive -advertise from -addr %q: %v", addr, err)
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		if h, err := os.Hostname(); err == nil && h != "" {
+			host = h
+		} else {
+			host = "127.0.0.1"
+		}
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
 }

@@ -34,6 +34,8 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,6 +102,7 @@ func run() error {
 		asyncEvery  = flag.Int("async-every", 5, "poll instead of wait for every n-th job (0 = always wait)")
 		seed        = flag.Int64("seed", 1, "workload shuffle seed")
 		exchange    = flag.Bool("exchange", false, "run multi-walker scenarios in dependent (exchange) mode — on a dist backend, walkers cooperate across worker processes")
+		tenantsMix  = flag.String("tenants", "", "attribute jobs to tenants by weight, name=weight,... (e.g. batch=3,interactive=1); empty submits without tenant attribution")
 		stream      = flag.Bool("stream", false, "await async jobs over the persistent binary progress stream instead of GET polling (with -inprocess, also stands the stream listener up; against -addr, discovered via /healthz stream_addr)")
 	)
 	flag.Parse()
@@ -194,12 +197,23 @@ func run() error {
 	for i := range order {
 		order[i] = rng.Intn(len(mix))
 	}
+	tenantPick, err := parseTenantMix(*tenantsMix)
+	if err != nil {
+		return err
+	}
+	tenantOf := make([]string, *jobs)
+	if tenantPick != nil {
+		for i := range tenantOf {
+			tenantOf[i] = tenantPick(rng)
+		}
+	}
 
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		outcomes  = map[service.State]int{}
 		perScen   = map[string]int{}
+		perTenant = map[string]int{}
 		retries   atomic.Int64
 		dropped   atomic.Int64
 		failures  atomic.Int64
@@ -217,7 +231,7 @@ func run() error {
 				sc := mix[order[i]]
 				wait := *asyncEvery == 0 || i%*asyncEvery != 0
 				t0 := time.Now()
-				job, nRetries, err := submit(client, base, sc, uint64(i+1), wait, streamCli, &transport)
+				job, nRetries, err := submit(client, base, sc, tenantOf[i], uint64(i+1), wait, streamCli, &transport)
 				lat := time.Since(t0)
 				retries.Add(int64(nRetries))
 				if err != nil {
@@ -233,6 +247,9 @@ func run() error {
 				latencies = append(latencies, lat)
 				outcomes[job.State]++
 				perScen[sc.name]++
+				if tenantOf[i] != "" {
+					perTenant[tenantOf[i]]++
+				}
 				mu.Unlock()
 			}
 		}()
@@ -250,7 +267,7 @@ func run() error {
 		resp.Body.Close()
 	}
 
-	report(*jobs, elapsed, latencies, outcomes, perScen, stats, retries.Load(), &transport)
+	report(*jobs, elapsed, latencies, outcomes, perScen, perTenant, stats, retries.Load(), &transport)
 
 	if d := dropped.Load(); d > 0 {
 		return fmt.Errorf("%d of %d jobs dropped", d, *jobs)
@@ -341,13 +358,16 @@ type transportMix struct {
 // when one is connected, with jittered-exponential-backoff GET polling
 // as the fallback. 429 responses are retried with backoff and reported
 // in the retry counter.
-func submit(client *http.Client, base string, sc scenario, seed uint64, wait bool, stream *streamClient, mix *transportMix) (service.Job, int, error) {
-	req := make(map[string]any, len(sc.req)+2)
+func submit(client *http.Client, base string, sc scenario, tenant string, seed uint64, wait bool, stream *streamClient, mix *transportMix) (service.Job, int, error) {
+	req := make(map[string]any, len(sc.req)+3)
 	for k, v := range sc.req {
 		req[k] = v
 	}
 	req["seed"] = seed
 	req["wait"] = wait
+	if tenant != "" {
+		req["tenant"] = tenant
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return service.Job{}, 0, err
@@ -510,7 +530,42 @@ func (sc *streamClient) fail() {
 
 func (sc *streamClient) close() { sc.fail() }
 
-func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[service.State]int, perScen map[string]int, stats service.Stats, retries int64, mix *transportMix) {
+// parseTenantMix parses -tenants (name=weight,...) into a weighted
+// random picker over tenant names; nil when the flag is unset.
+func parseTenantMix(spec string) (func(*rand.Rand) string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	type tw struct {
+		name   string
+		weight int
+	}
+	var mix []tw
+	total := 0
+	for _, entry := range strings.Split(spec, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants: entry %q is not name=weight", entry)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenants: %s: weight %q is not a positive integer", name, wstr)
+		}
+		mix = append(mix, tw{name, w})
+		total += w
+	}
+	return func(rng *rand.Rand) string {
+		n := rng.Intn(total)
+		for _, t := range mix {
+			if n -= t.weight; n < 0 {
+				return t.name
+			}
+		}
+		return mix[len(mix)-1].name
+	}, nil
+}
+
+func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[service.State]int, perScen, perTenant map[string]int, stats service.Stats, retries int64, mix *transportMix) {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(p float64) time.Duration {
 		if len(lats) == 0 {
@@ -541,6 +596,18 @@ func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[
 	sort.Strings(scens)
 	for _, s := range scens {
 		fmt.Printf("scenario %-18s %d\n", s, perScen[s])
+	}
+	tenants := make([]string, 0, len(perTenant))
+	for t := range perTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		line := fmt.Sprintf("tenant %-12s %d jobs", t, perTenant[t])
+		if ts, ok := stats.Tenants[t]; ok {
+			line += fmt.Sprintf(" (server: weight=%d dispatched=%d charge=%.2f)", ts.Weight, ts.Dispatched, ts.Charge)
+		}
+		fmt.Println(line)
 	}
 	if stats.JobsSubmitted > 0 {
 		fmt.Printf("server: %d iterations total (%.0f iters/s), peak pool %d slots\n",

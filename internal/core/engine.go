@@ -138,7 +138,7 @@ func (e *engine) solve() Result {
 		return e.solveFD()
 	}
 	n := e.p.Size()
-	e.res = Result{Cost: math.MaxInt, Strategy: e.strat.Name}
+	e.res = Result{Cost: CostUnknown, Strategy: e.strat.Name}
 	e.bestCost = math.MaxInt
 
 	// Degenerate sizes: a 0- or 1-variable problem has a single

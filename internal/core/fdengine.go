@@ -22,7 +22,7 @@ import "math"
 // solveFD is the FD counterpart of solve.
 func (e *engine) solveFD() Result {
 	n := e.p.Size()
-	e.res = Result{Cost: math.MaxInt, Strategy: e.strat.Name}
+	e.res = Result{Cost: CostUnknown, Strategy: e.strat.Name}
 	e.bestCost = math.MaxInt
 
 	// A 0-variable problem has a single (empty) configuration; report

@@ -2,8 +2,18 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
+
+// CostUnknown is the sentinel stamped into Result.Cost when a walker
+// never evaluated a configuration: a Solve call whose context was
+// already cancelled, a virtual-mode walker the budget never reached, or
+// a distributed shard synthesized after its worker was lost. Consumers
+// that aggregate or report costs must treat it as "no cost known" — it
+// must never be summed (it overflows any running total) or surfaced as
+// a real cost.
+const CostUnknown = math.MaxInt
 
 // Result reports the outcome and the full execution statistics of one
 // Solve call. Iteration counts are the machine-independent work measure
@@ -18,7 +28,7 @@ type Result struct {
 	// Cost is the final global cost: 0 when solved, otherwise the cost
 	// of the best configuration seen in the last run. A run interrupted
 	// before evaluating any configuration (context already cancelled at
-	// Solve time) reports math.MaxInt.
+	// Solve time) reports CostUnknown.
 	Cost int
 	// Strategy names the search strategy that produced the result
 	// (Options.Strategy resolved through the registry). Useful when

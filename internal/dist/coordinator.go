@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -21,17 +20,37 @@ import (
 
 // CoordinatorConfig configures a coordinator over a worker fleet.
 type CoordinatorConfig struct {
-	// Workers lists the worker base URLs (e.g. "http://10.0.0.7:9101").
-	// At least one is required; each is probed for its slot capacity at
-	// construction time.
+	// Workers lists worker base URLs (e.g. "http://10.0.0.7:9101")
+	// enrolled statically at construction time; each is probed for its
+	// slot capacity. With Dynamic set the list may be empty — workers
+	// join at runtime through the fleet registration endpoints.
 	Workers []string
+	// Dynamic allows an empty initial fleet and enables runtime
+	// membership: workers register, heartbeat and drain through
+	// FleetHandler. Static workers and dynamic joiners share one
+	// registry, so mixing both is fine.
+	Dynamic bool
 	// Client is the HTTP client used for all worker traffic. nil
 	// selects a dedicated client with no global timeout (run requests
 	// are long-polls bounded by their context).
 	Client *http.Client
-	// ProbeTimeout bounds the enrollment health probe per worker. 0
-	// selects 5s.
+	// ProbeTimeout bounds every health probe — enrollment, runtime
+	// registration and the monitor's liveness sweeps. Each probe gets
+	// its own independent context with this timeout, so one hung worker
+	// can never eat a job deadline or stall the sweep. 0 selects 5s.
 	ProbeTimeout time.Duration
+	// HeartbeatInterval is the monitor's sweep period: workers not
+	// heard from (push heartbeat or probe) within one interval are
+	// re-probed; a failed probe makes them suspect, a second makes them
+	// dead. 0 selects 2s; negative disables the monitor (tests).
+	HeartbeatInterval time.Duration
+	// RecoverAttempts bounds the lost-shard recovery rounds per job: a
+	// shard whose worker is lost mid-run is re-planned onto healthy
+	// workers and re-run — bit-for-bit identically, walker identity
+	// being global — up to this many times before the job is truncated.
+	// 0 selects 2; negative disables recovery (lost shards truncate
+	// immediately, the pre-elastic behavior).
+	RecoverAttempts int
 	// BoardAddr is the listen address of the coordinator's global
 	// exchange-board server, which workers sync against during
 	// dependent (Exchange) jobs. Empty selects 127.0.0.1:0 — correct
@@ -93,39 +112,43 @@ type JobSpec struct {
 	Exchange multiwalk.ExchangeOptions
 }
 
-// workerRef is one enrolled worker plus its slot accounting.
-type workerRef struct {
-	index int
-	base  string
-	slots int
-	wire  bool // healthz advertised wire-frame support
-	busy  int  // guarded by Coordinator.mu
-}
-
-// WorkerInfo describes an enrolled worker.
-type WorkerInfo struct {
-	URL   string `json:"url"`
-	Slots int    `json:"slots"`
-	Busy  int    `json:"busy"`
-}
-
 // Coordinator shards multi-walk jobs over a fleet of workers. It
 // implements the same contract as multiwalk.Run / RunVirtual — walker
 // identity, portfolio assignment and the min-iterations virtual winner
 // are bit-for-bit those of the single-process run — and satisfies
 // service.Backend, so a Scheduler can serve its traffic from the fleet
-// (cmd/serve -workers).
+// (cmd/serve -workers / -fleet).
+//
+// Fleet membership is dynamic: workers join statically (config) or at
+// runtime (FleetHandler registration), push heartbeats, and leave by
+// draining. A background monitor probes workers it has not heard from,
+// and a shard lost to a worker failure is re-planned onto surviving
+// healthy workers and re-run — global walker identity makes the re-run
+// bit-for-bit identical — before the job is ever truncated.
 type Coordinator struct {
 	client *http.Client
+	reg    *registry
 
-	mu      sync.Mutex
-	workers []*workerRef
+	probeTimeout    time.Duration
+	hbInterval      time.Duration
+	recoverAttempts int
 
 	seq atomic.Uint64
 
 	boards    *boardHub
 	boardSync time.Duration
 	stream    bool
+
+	monitorStop  chan struct{}
+	monitorDone  chan struct{}
+	monitorOnce  sync.Once
+	mLostShards  atomic.Int64
+	mRecShards   atomic.Int64
+	mRecWalkers  atomic.Int64
+	mFailovers   atomic.Int64
+	mTruncations atomic.Int64
+	mProbeFails  atomic.Int64
+	mProbesDone  atomic.Int64
 }
 
 // newFleetClient is the coordinator's default HTTP client: one shared
@@ -146,11 +169,13 @@ func newFleetClient(workers int) *http.Client {
 }
 
 // NewCoordinator enrolls the configured workers, probing each for its
-// slot capacity, and fails if any worker is unreachable — a fleet that
-// starts degraded is a misconfiguration, while one that degrades later
-// is handled at run time (lost shards surface as Truncated results).
+// slot capacity, and fails if any static worker is unreachable — a
+// fleet that starts degraded is a misconfiguration, while one that
+// degrades later is handled at run time (lost shards are recovered on
+// surviving workers, truncating only when capacity or the retry budget
+// runs out).
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
+	if len(cfg.Workers) == 0 && !cfg.Dynamic {
 		return nil, errors.New("dist: coordinator needs at least one worker URL")
 	}
 	client := cfg.Client
@@ -161,29 +186,52 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if probeTimeout <= 0 {
 		probeTimeout = 5 * time.Second
 	}
+	hbInterval := cfg.HeartbeatInterval
+	if hbInterval == 0 {
+		hbInterval = 2 * time.Second
+	}
+	recoverAttempts := cfg.RecoverAttempts
+	if recoverAttempts == 0 {
+		recoverAttempts = 2
+	}
 	if cfg.BoardSync < 0 {
 		return nil, errors.New("dist: CoordinatorConfig.BoardSync must be >= 0")
 	}
 	c := &Coordinator{
-		client:    client,
-		boards:    newBoardHub(cfg.BoardAddr, cfg.BoardAdvertise, cfg.StreamAddr),
-		boardSync: cfg.BoardSync,
-		stream:    cfg.Stream,
+		client:          client,
+		reg:             newRegistry(),
+		probeTimeout:    probeTimeout,
+		hbInterval:      hbInterval,
+		recoverAttempts: recoverAttempts,
+		boards:          newBoardHub(cfg.BoardAddr, cfg.BoardAdvertise, cfg.StreamAddr),
+		boardSync:       cfg.BoardSync,
+		stream:          cfg.Stream,
+		monitorStop:     make(chan struct{}),
+		monitorDone:     make(chan struct{}),
 	}
-	for i, base := range cfg.Workers {
+	now := time.Now()
+	for _, base := range cfg.Workers {
 		slots, wireOK, err := c.probe(base, probeTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("dist: enrolling worker %s: %w", base, err)
 		}
-		c.workers = append(c.workers, &workerRef{index: i, base: base, slots: slots, wire: wireOK})
+		c.reg.upsert(base, slots, wireOK, now)
+	}
+	if hbInterval > 0 {
+		go c.monitor()
+	} else {
+		close(c.monitorDone)
 	}
 	return c, nil
 }
 
 // probe reads a worker's slot capacity and wire capability from its
-// health endpoint. Workers that predate the streaming control plane
-// simply omit the field and stay on HTTP/JSON.
+// health endpoint. Every probe runs on its own short timeout context,
+// independent of any job deadline — a hung worker costs one bounded
+// probe, never the job. Workers that predate the streaming control
+// plane simply omit the wire field and stay on HTTP/JSON.
 func (c *Coordinator) probe(base string, timeout time.Duration) (int, bool, error) {
+	c.mProbesDone.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
@@ -211,6 +259,48 @@ func (c *Coordinator) probe(base string, timeout time.Duration) (int, bool, erro
 	return health.Slots, health.Wire, nil
 }
 
+// monitor is the fleet liveness loop: each tick it probes every worker
+// it has not heard from within one heartbeat interval. Probes run
+// concurrently, each on its own ProbeTimeout context, so one hung
+// worker delays nothing but its own verdict.
+func (c *Coordinator) monitor() {
+	defer close(c.monitorDone)
+	ticker := time.NewTicker(c.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.monitorStop:
+			return
+		case <-ticker.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep probes stale workers concurrently and records the verdicts.
+func (c *Coordinator) sweep() {
+	now := time.Now()
+	stale := c.reg.stale(c.hbInterval, now)
+	if len(stale) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, w := range stale {
+		wg.Add(1)
+		go func(w *workerRef) {
+			defer wg.Done()
+			slots, wireOK, err := c.probe(w.base, c.probeTimeout)
+			if err != nil {
+				c.mProbeFails.Add(1)
+				c.reg.reportFailure(w)
+				return
+			}
+			c.reg.probeOK(w, slots, wireOK, time.Now())
+		}(w)
+	}
+	wg.Wait()
+}
+
 // BoardTraffic reports the cumulative exchange-board bytes moved each
 // way (HTTP sync bodies plus stream frames) — the board-sync bytes
 // metric the telemetry sampler records.
@@ -227,35 +317,60 @@ func (c *Coordinator) BoardHTTPSyncs() int64 {
 
 // Name identifies the backend in service logs and metrics.
 func (c *Coordinator) Name() string {
-	return fmt.Sprintf("dist(%d workers)", len(c.workers))
+	return fmt.Sprintf("dist(%d workers)", c.reg.size())
 }
 
-// Slots returns the fleet's total walker-slot capacity.
+// Slots returns the fleet's dispatchable walker-slot capacity: healthy
+// and suspect workers count, dead and draining do not. It moves as the
+// fleet does; the serving layer tracks it through NotifyCapacity.
 func (c *Coordinator) Slots() int {
-	total := 0
-	for _, w := range c.workers {
-		total += w.slots
-	}
-	return total
+	return c.reg.capacity()
 }
 
-// Workers returns a snapshot of the enrolled fleet.
+// Workers returns a snapshot of the registered fleet.
 func (c *Coordinator) Workers() []WorkerInfo {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]WorkerInfo, len(c.workers))
-	for i, w := range c.workers {
-		out[i] = WorkerInfo{URL: w.base, Slots: w.slots, Busy: w.busy}
-	}
-	return out
+	return c.reg.snapshot()
 }
 
-// Close releases the coordinator. Runs in flight keep their slot
-// reservations until they unwind; the only coordinator-owned resource
-// is the exchange-board server, which is shut down here (its absence
-// degrades in-flight dependent runs to independent walks — the
-// scheme's designed failure mode).
+// NotifyCapacity installs a callback invoked (without locks held)
+// whenever fleet membership or capacity changes — the serving layer's
+// cue to resize its admission pool. One callback; later calls replace
+// earlier ones.
+func (c *Coordinator) NotifyCapacity(f func()) {
+	c.reg.setOnChange(f)
+}
+
+// BackendMetrics exposes the fleet and recovery counters to the
+// serving layer's Stats (structurally, like service.Backend itself).
+func (c *Coordinator) BackendMetrics() map[string]int64 {
+	healthy, suspect, dead, draining := c.reg.counts()
+	return map[string]int64{
+		"fleet_workers":          int64(c.reg.size()),
+		"fleet_healthy":          int64(healthy),
+		"fleet_suspect":          int64(suspect),
+		"fleet_dead":             int64(dead),
+		"fleet_draining":         int64(draining),
+		"fleet_slots":            int64(c.reg.capacity()),
+		"fleet_joins":            c.reg.mJoins.Load(),
+		"fleet_leaves":           c.reg.mLeaves.Load(),
+		"fleet_probe_failures":   c.mProbeFails.Load(),
+		"fleet_probes":           c.mProbesDone.Load(),
+		"shards_lost":            c.mLostShards.Load(),
+		"shards_recovered":       c.mRecShards.Load(),
+		"walkers_recovered":      c.mRecWalkers.Load(),
+		"dispatch_failovers":     c.mFailovers.Load(),
+		"jobs_truncated_by_loss": c.mTruncations.Load(),
+	}
+}
+
+// Close releases the coordinator: the liveness monitor stops and the
+// exchange-board server shuts down (its absence degrades in-flight
+// dependent runs to independent walks — the scheme's designed failure
+// mode). Runs in flight keep their slot reservations until they
+// unwind.
 func (c *Coordinator) Close() {
+	c.monitorOnce.Do(func() { close(c.monitorStop) })
+	<-c.monitorDone
 	c.boards.close()
 }
 
@@ -280,7 +395,9 @@ func (c *Coordinator) RunVirtual(ctx context.Context, job JobSpec) (multiwalk.Re
 // factory is ignored — workers build their own problem instances from
 // the registry — and the options' Progress hook, which cannot stream
 // across processes, is replayed from the final per-walker statistics
-// so the scheduler's throughput counters stay truthful.
+// so the scheduler's throughput counters stay truthful. Walkers that
+// never ran (Iterations 0, Cost core.CostUnknown) are skipped — the
+// sentinel is never replayed as a real cost.
 func (c *Coordinator) RunJob(ctx context.Context, problem string, size int, params map[string]int, factory problems.Factory, opts multiwalk.Options) (multiwalk.Result, error) {
 	_ = factory
 	res, err := c.Run(ctx, JobSpec{
@@ -295,7 +412,7 @@ func (c *Coordinator) RunJob(ctx context.Context, problem string, size int, para
 	})
 	if err == nil && opts.Progress != nil {
 		for _, ws := range res.Walkers {
-			if ws.Result.Iterations > 0 {
+			if ws.Result.Iterations > 0 && ws.Result.Cost != core.CostUnknown {
 				opts.Progress(ws.Walker, ws.Result.Iterations, ws.Result.Cost)
 			}
 		}
@@ -309,6 +426,7 @@ type assignment struct {
 	start    int
 	count    int
 	reserved int
+	released bool // guarded by registry.mu
 	runID    string
 }
 
@@ -317,6 +435,11 @@ type shardOutcome struct {
 	res  multiwalk.Result
 	lost bool  // transport-level loss: no stats came back
 	err  error // application-level rejection (bad options)
+}
+
+// lostRange is a run of global walker indices whose shard was lost.
+type lostRange struct {
+	start, count int
 }
 
 func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiwalk.Result, error) {
@@ -348,22 +471,14 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 		}
 	}
 
-	plan, release, err := c.plan(mode, job.Walkers)
+	plan, err := c.plan(mode, job.Walkers)
 	if err != nil {
 		return multiwalk.Result{}, err
 	}
-	defer release()
-
-	// Worker-side deadline: the remaining context budget, so an
-	// orphaned shard self-terminates even if the coordinator dies
-	// without delivering a cancel.
-	var deadlineMS int64
-	if dl, ok := ctx.Deadline(); ok {
-		deadlineMS = time.Until(dl).Milliseconds()
-		if deadlineMS < 1 {
-			deadlineMS = 1
-		}
-	}
+	// Safety net for early returns; the normal path releases each
+	// shard's reservation the moment its outcome is in (releases are
+	// idempotent), so recovery rounds see the freed capacity.
+	defer c.releaseAll(plan)
 
 	engineSpec := EngineSpecFor(job.Engine)
 	portfolio := make([]PortfolioSpec, len(job.Portfolio))
@@ -373,9 +488,6 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 
 	start := time.Now()
 	jobID := c.seq.Add(1)
-	outcomes := make([]shardOutcome, len(plan))
-	var solvedOnce sync.Once
-	var wg sync.WaitGroup
 	for i := range plan {
 		plan[i].runID = fmt.Sprintf("job%06d-s%d", jobID, i)
 	}
@@ -383,8 +495,8 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 	// Dependent jobs get a job-wide global board: every shard receives
 	// the same sync URL, so elite configurations flow between workers.
 	// The board lives exactly as long as the job — run() waits for all
-	// shard responses before releasing it, so no shard ever syncs into
-	// a reassigned board.
+	// shard responses (including recovery rounds) before releasing it,
+	// so no shard ever syncs into a reassigned board.
 	var boardURL, boardStream, boardJob string
 	if job.Exchange.Enabled {
 		// The probe instance lets the board server verify every publish
@@ -421,7 +533,7 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 	if ctx.Err() != nil {
 		shards := make([]multiwalk.Result, len(plan))
 		for i := range plan {
-			shards[i] = lostShardResult(&plan[i], job)
+			shards[i] = lostShardResult(plan[i].start, plan[i].count, job)
 		}
 		res, err := multiwalk.CombineShards(job.Walkers, shards...)
 		if err != nil {
@@ -440,12 +552,165 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 	// bound reaps the run itself.
 	reqCtx, hardCancel := context.WithCancel(context.WithoutCancel(ctx))
 	defer hardCancel()
+	// Recovery rounds add their own shards after dispatch starts, so
+	// external cancellation targets a live list, not the initial plan.
+	var plansMu sync.Mutex
+	activePlans := [][]assignment{plan}
+	addPlan := func(p []assignment) {
+		plansMu.Lock()
+		activePlans = append(activePlans, p)
+		plansMu.Unlock()
+	}
 	stopNotify := context.AfterFunc(ctx, func() {
-		c.cancelShards(plan, -1)
+		plansMu.Lock()
+		plans := make([][]assignment, len(activePlans))
+		copy(plans, activePlans)
+		plansMu.Unlock()
+		for _, p := range plans {
+			c.cancelShards(p, -1)
+		}
 		time.AfterFunc(cancelGrace, hardCancel)
 	})
 	defer stopNotify()
 
+	var solvedOnce sync.Once
+	outcomes := c.dispatch(reqCtx, mode, job, plan, &solvedOnce, hardCancel, shardParams{
+		engine:      engineSpec,
+		portfolio:   portfolio,
+		exchange:    exchangeSpec,
+		boardURL:    boardURL,
+		boardStream: boardStream,
+		boardJob:    boardJob,
+		deadline:    deadlineMS(ctx),
+	})
+
+	shards := make([]multiwalk.Result, 0, len(plan))
+	var lost []lostRange
+	solved := false
+	for i, out := range outcomes {
+		if out.err != nil {
+			return multiwalk.Result{}, fmt.Errorf("dist: worker %s: %w", plan[i].worker.base, out.err)
+		}
+		if out.lost {
+			c.mLostShards.Add(1)
+			lost = append(lost, lostRange{plan[i].start, plan[i].count})
+			continue
+		}
+		if mode == ModeRun && out.res.Solved {
+			solved = true
+		}
+		shards = append(shards, out.res)
+	}
+
+	// Recovery: re-run each lost shard's walkers on surviving healthy
+	// workers. Global walker identity (Shard.Start/Total against the
+	// whole job) makes the re-run bit-for-bit identical to the run the
+	// lost worker would have produced, so the determinism contract
+	// holds across failures. Recovery is skipped when the caller
+	// cancelled (the "loss" is our own hard-cancel severing
+	// connections) and when a wall-clock run already solved (losers are
+	// stopped, not resurrected); it stops when the retry budget or the
+	// fleet's healthy capacity runs out — only then does the job
+	// truncate.
+	for attempt := 1; len(lost) > 0 && attempt <= c.recoverAttempts && ctx.Err() == nil && !solved; attempt++ {
+		rplan, uncovered := c.planRecovery(mode, lost)
+		if len(rplan) == 0 {
+			break
+		}
+		for i := range rplan {
+			rplan[i].runID = fmt.Sprintf("job%06d-r%d-s%d", jobID, attempt, i)
+		}
+		addPlan(rplan)
+		routs := c.dispatch(reqCtx, mode, job, rplan, &solvedOnce, hardCancel, shardParams{
+			engine:      engineSpec,
+			portfolio:   portfolio,
+			exchange:    exchangeSpec,
+			boardURL:    boardURL,
+			boardStream: boardStream,
+			boardJob:    boardJob,
+			deadline:    deadlineMS(ctx),
+		})
+		lost = uncovered
+		for i, out := range routs {
+			if out.err != nil {
+				return multiwalk.Result{}, fmt.Errorf("dist: worker %s: %w", rplan[i].worker.base, out.err)
+			}
+			if out.lost {
+				lost = append(lost, lostRange{rplan[i].start, rplan[i].count})
+				continue
+			}
+			if mode == ModeRun && out.res.Solved {
+				solved = true
+			}
+			c.mRecShards.Add(1)
+			c.mRecWalkers.Add(int64(rplan[i].count))
+			shards = append(shards, out.res)
+		}
+	}
+
+	anyLost := len(lost) > 0
+	for _, lr := range lost {
+		shards = append(shards, lostShardResult(lr.start, lr.count, job))
+	}
+	res, err := multiwalk.CombineShards(job.Walkers, shards...)
+	if err != nil {
+		// A worker violated the protocol (wrong or duplicate walker
+		// indices). Surface it as an error, never as a fabricated run.
+		return multiwalk.Result{}, fmt.Errorf("dist: inconsistent shard stats: %w", err)
+	}
+	if anyLost {
+		res.Truncated = true
+		c.mTruncations.Add(1)
+	}
+	if mode == ModeRun && res.Solved {
+		// Losers interrupted after the winner's cancel are the normal
+		// completion mechanism, exactly as in multiwalk.Run: a solved
+		// wall-clock run is never truncated (a lost loser leaves its
+		// mark in Completed < Walkers instead). Virtual mode keeps
+		// sticky truncation — a walker that never ran to completion
+		// taints the deterministic winner even when another solved,
+		// matching RunVirtual's mid-sweep cancellation semantics.
+		res.Truncated = false
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// shardParams bundles the per-job request fields shared by every shard
+// dispatch (initial plan and recovery rounds alike).
+type shardParams struct {
+	engine      EngineSpec
+	portfolio   []PortfolioSpec
+	exchange    ExchangeSpec
+	boardURL    string
+	boardStream string
+	boardJob    string
+	deadline    int64
+}
+
+// deadlineMS converts the context's remaining budget to the worker-side
+// deadline field (0 = none), so an orphaned shard self-terminates even
+// if the coordinator dies without delivering a cancel.
+func deadlineMS(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// dispatch runs every assignment in plan concurrently and returns their
+// outcomes. Each shard's slot reservation is released the moment its
+// outcome is in, so later recovery rounds can plan into the freed
+// capacity. The solvedOnce/hardCancel pair implements first-solution
+// termination across all rounds of one job.
+func (c *Coordinator) dispatch(ctx context.Context, mode string, job JobSpec, plan []assignment, solvedOnce *sync.Once, hardCancel context.CancelFunc, p shardParams) []shardOutcome {
+	outcomes := make([]shardOutcome, len(plan))
+	var wg sync.WaitGroup
 	for i := range plan {
 		wg.Add(1)
 		go func(i int) {
@@ -461,15 +726,16 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 				TotalWalkers: job.Walkers,
 				Start:        a.start,
 				Count:        a.count,
-				Engine:       engineSpec,
-				Portfolio:    portfolio,
-				DeadlineMS:   deadlineMS,
-				Exchange:     exchangeSpec,
-				Board:        boardURL,
-				BoardStream:  boardStream,
-				BoardJob:     boardJob,
+				Engine:       p.engine,
+				Portfolio:    p.portfolio,
+				DeadlineMS:   p.deadline,
+				Exchange:     p.exchange,
+				Board:        p.boardURL,
+				BoardStream:  p.boardStream,
+				BoardJob:     p.boardJob,
 			}
-			outcomes[i] = c.runShard(reqCtx, a, req)
+			outcomes[i] = c.runShard(ctx, a, req)
+			c.releaseOne(a)
 			if mode == ModeRun && outcomes[i].err == nil && !outcomes[i].lost && outcomes[i].res.Solved {
 				// First-solution termination: tell the other workers to
 				// stop. Cancel RPCs — not aborted connections — so the
@@ -486,84 +752,58 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 		}(i)
 	}
 	wg.Wait()
-
-	shards := make([]multiwalk.Result, 0, len(plan))
-	anyLost := false
-	for i, out := range outcomes {
-		if out.err != nil {
-			return multiwalk.Result{}, fmt.Errorf("dist: worker %s: %w", plan[i].worker.base, out.err)
-		}
-		if out.lost {
-			anyLost = true
-			shards = append(shards, lostShardResult(&plan[i], job))
-			continue
-		}
-		shards = append(shards, out.res)
-	}
-	res, err := multiwalk.CombineShards(job.Walkers, shards...)
-	if err != nil {
-		// A worker violated the protocol (wrong or duplicate walker
-		// indices). Surface it as an error, never as a fabricated run.
-		return multiwalk.Result{}, fmt.Errorf("dist: inconsistent shard stats: %w", err)
-	}
-	if anyLost {
-		res.Truncated = true
-	}
-	if mode == ModeRun && res.Solved {
-		// Losers interrupted after the winner's cancel are the normal
-		// completion mechanism, exactly as in multiwalk.Run: a solved
-		// wall-clock run is never truncated (a lost loser leaves its
-		// mark in Completed < Walkers instead). Virtual mode keeps
-		// sticky truncation — a walker that never ran to completion
-		// taints the deterministic winner even when another solved,
-		// matching RunVirtual's mid-sweep cancellation semantics.
-		res.Truncated = false
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return outcomes
 }
 
-// lostShardResult synthesizes the stats of a shard whose worker was
-// lost: each walker keeps its global identity and portfolio entry and
-// carries an empty Interrupted result — never fabricated work.
-func lostShardResult(a *assignment, job JobSpec) multiwalk.Result {
-	stats := make([]multiwalk.WalkerStat, a.count)
+// lostShardResult synthesizes the stats of walkers [start, start+count)
+// whose shard was lost past recovery: each walker keeps its global
+// identity and portfolio entry and carries an empty Interrupted result
+// stamped core.CostUnknown — never fabricated work, and never a cost a
+// consumer may aggregate.
+func lostShardResult(start, count int, job JobSpec) multiwalk.Result {
+	stats := make([]multiwalk.WalkerStat, count)
 	for i := range stats {
-		g := a.start + i
+		g := start + i
 		stats[i] = multiwalk.WalkerStat{
 			Walker: g,
 			Entry:  multiwalk.EntryFor(job.Portfolio, job.Walkers, g),
-			Result: core.Result{Interrupted: true, Cost: math.MaxInt},
+			Result: core.Result{Interrupted: true, Cost: core.CostUnknown},
 		}
 	}
 	return multiwalk.Result{Winner: -1, Walkers: stats, Completed: 0, Truncated: true}
 }
 
 // plan partitions k walkers over the fleet's free capacity and
-// reserves the slots it uses; release returns them. ModeRun places at
-// most free-slot walkers per worker (they run concurrently); a job
-// that fits the fleet's total free capacity always fits, because
-// shards split at arbitrary boundaries. ModeVirtual reserves one slot
-// per participating worker (shards run sequentially) and splits the
-// walkers proportionally to worker capacity, so the slowest shard —
-// the distributed collection's wall-clock — is balanced.
-func (c *Coordinator) plan(mode string, k int) ([]assignment, func(), error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// reserves the slots it uses (healthy and suspect workers; dead and
+// draining are excluded). ModeRun places at most free-slot walkers per
+// worker (they run concurrently); a job that fits the fleet's total
+// free capacity always fits, because shards split at arbitrary
+// boundaries. ModeVirtual reserves one slot per participating worker
+// (shards run sequentially) and splits the walkers proportionally to
+// worker capacity, so the slowest shard — the distributed collection's
+// wall-clock — is balanced.
+func (c *Coordinator) plan(mode string, k int) ([]assignment, error) {
+	r := c.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	dispatchable := func(w *workerRef) bool {
+		return w.state == stateHealthy || w.state == stateSuspect
+	}
 
 	var plan []assignment
 	switch mode {
 	case ModeVirtual:
 		var eligible []*workerRef
 		weight := 0
-		for _, w := range c.workers {
-			if w.slots-w.busy >= 1 {
+		for _, w := range r.workers {
+			if dispatchable(w) && w.slots-w.busy >= 1 {
 				eligible = append(eligible, w)
 				weight += w.slots
 			}
 		}
 		if len(eligible) == 0 {
-			return nil, nil, fmt.Errorf("%w: no worker has a free slot", ErrNoCapacity)
+			return nil, fmt.Errorf("%w: no worker has a free slot", ErrNoCapacity)
 		}
 		// Largest-remainder proportional split, ties to earlier
 		// workers; zero-walker workers drop out of the plan.
@@ -587,16 +827,21 @@ func (c *Coordinator) plan(mode string, k int) ([]assignment, func(), error) {
 		}
 	default: // ModeRun
 		free := 0
-		for _, w := range c.workers {
-			free += w.slots - w.busy
+		for _, w := range r.workers {
+			if dispatchable(w) {
+				free += w.slots - w.busy
+			}
 		}
 		if free < k {
-			return nil, nil, fmt.Errorf("%w: job needs %d walkers, fleet has %d free slots", ErrNoCapacity, k, free)
+			return nil, fmt.Errorf("%w: job needs %d walkers, fleet has %d free slots", ErrNoCapacity, k, free)
 		}
 		next := 0
-		for _, w := range c.workers {
+		for _, w := range r.workers {
 			if next == k {
 				break
+			}
+			if !dispatchable(w) {
+				continue
 			}
 			take := min(k-next, w.slots-w.busy)
 			if take <= 0 {
@@ -610,24 +855,102 @@ func (c *Coordinator) plan(mode string, k int) ([]assignment, func(), error) {
 	for i := range plan {
 		plan[i].worker.busy += plan[i].reserved
 	}
-	release := func() {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		for i := range plan {
-			plan[i].worker.busy -= plan[i].reserved
-		}
-	}
-	return plan, release, nil
+	return plan, nil
 }
 
-// runShard posts one shard run and waits for its statistics. Dispatch
-// is a binary RunSpec frame when streaming is on and the worker
-// advertised wire support, JSON otherwise; responses are JSON either
-// way (one response per shard — framing buys nothing there).
+// planRecovery re-plans lost walker ranges onto healthy workers with
+// free capacity, reserving the slots it takes. Suspect workers are
+// excluded — the failure that made them suspect is usually the one
+// being recovered from. Ranges (or range tails) that find no capacity
+// come back as uncovered; the caller truncates them after the retry
+// budget is spent.
+func (c *Coordinator) planRecovery(mode string, lost []lostRange) (plan []assignment, uncovered []lostRange) {
+	r := c.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, lr := range lost {
+		switch mode {
+		case ModeVirtual:
+			// One slot on the healthy worker with the most free
+			// capacity; virtual shards run sequentially, so the whole
+			// range stays on one worker.
+			var best *workerRef
+			for _, w := range r.workers {
+				if w.state != stateHealthy || w.slots-w.busy < 1 {
+					continue
+				}
+				if best == nil || w.slots-w.busy > best.slots-best.busy {
+					best = w
+				}
+			}
+			if best == nil {
+				uncovered = append(uncovered, lr)
+				continue
+			}
+			best.busy++
+			plan = append(plan, assignment{worker: best, start: lr.start, count: lr.count, reserved: 1})
+		default: // ModeRun
+			next, end := lr.start, lr.start+lr.count
+			for _, w := range r.workers {
+				if next == end {
+					break
+				}
+				if w.state != stateHealthy {
+					continue
+				}
+				take := min(end-next, w.slots-w.busy)
+				if take <= 0 {
+					continue
+				}
+				w.busy += take
+				plan = append(plan, assignment{worker: w, start: next, count: take, reserved: take})
+				next += take
+			}
+			if next < end {
+				uncovered = append(uncovered, lostRange{next, end - next})
+			}
+		}
+	}
+	return plan, uncovered
+}
+
+// releaseOne returns one assignment's slot reservation; idempotent.
+func (c *Coordinator) releaseOne(a *assignment) {
+	r := c.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !a.released {
+		a.released = true
+		a.worker.busy -= a.reserved
+	}
+}
+
+// releaseAll returns every not-yet-released reservation in plan.
+func (c *Coordinator) releaseAll(plan []assignment) {
+	for i := range plan {
+		c.releaseOne(&plan[i])
+	}
+}
+
+// runShard posts one shard run and waits for its statistics. The
+// worker's capability is re-validated against the registry at dispatch
+// time — plan-time snapshots go stale in an elastic fleet — and a
+// worker that went dead or draining in the gap is failed over (the
+// shard reports lost, flowing into recovery) instead of erroring the
+// job. Dispatch is a binary RunSpec frame when streaming is on and the
+// worker currently advertises wire support, JSON otherwise; responses
+// are JSON either way (one response per shard — framing buys nothing
+// there).
 func (c *Coordinator) runShard(ctx context.Context, a *assignment, reqBody RunRequest) shardOutcome {
+	wireOK, ok := c.reg.dispatchable(a.worker)
+	if !ok {
+		c.mFailovers.Add(1)
+		return shardOutcome{lost: true}
+	}
 	var payload []byte
 	contentType := "application/json"
-	if c.stream && a.worker.wire {
+	if c.stream && wireOK {
 		var enc wire.Encoder
 		spec := wireRunSpec(&reqBody)
 		framed, err := enc.RunSpecFrame(nil, &spec)
@@ -650,8 +973,10 @@ func (c *Coordinator) runShard(ctx context.Context, a *assignment, reqBody RunRe
 	resp, err := c.client.Do(httpReq)
 	if err != nil {
 		// Transport loss: connection refused, reset mid-run, context
-		// cancelled. No stats came back — the shard is lost, and the
-		// merged result must say so (Truncated), not guess.
+		// cancelled. No stats came back — the shard is lost. Mark the
+		// worker so recovery plans around it; the next successful probe
+		// or heartbeat restores it.
+		c.reg.reportFailure(a.worker)
 		return shardOutcome{lost: true}
 	}
 	defer resp.Body.Close()

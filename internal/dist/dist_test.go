@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -42,6 +41,7 @@ func newFleet(t *testing.T, slots ...int) *fleet {
 	}
 	f.coord = coord
 	t.Cleanup(func() {
+		f.coord.Close()
 		for i := range f.servers {
 			f.servers[i].Close()
 			f.workers[i].Close()
@@ -244,10 +244,12 @@ func lossyWorker(t *testing.T, slots int, started chan<- struct{}) *httptest.Ser
 	return srv
 }
 
-// TestWorkerLossSurfacesAsTruncated covers the acceptance criterion:
-// losing a worker mid-run must yield a Truncated result whose lost
-// walkers are explicitly Interrupted — never a fabricated complete
-// run — while the surviving shard's stats are kept.
+// TestWorkerLossSurfacesAsTruncated covers the no-recovery contract
+// (RecoverAttempts < 0, or no surviving capacity): losing a worker
+// mid-run must yield a Truncated result whose lost walkers are
+// explicitly Interrupted — never a fabricated complete run — while the
+// surviving shard's stats are kept. Recovery-enabled fleets re-run the
+// lost shard instead; see TestShardRecoveryDeterminism.
 func TestWorkerLossSurfacesAsTruncated(t *testing.T) {
 	healthy := NewWorker(WorkerConfig{Slots: 2})
 	healthySrv := httptest.NewServer(healthy.Handler())
@@ -255,10 +257,14 @@ func TestWorkerLossSurfacesAsTruncated(t *testing.T) {
 	started := make(chan struct{}, 1)
 	lossy := lossyWorker(t, 2, started)
 
-	coord, err := NewCoordinator(CoordinatorConfig{Workers: []string{healthySrv.URL, lossy.URL}})
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Workers:         []string{healthySrv.URL, lossy.URL},
+		RecoverAttempts: -1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(coord.Close)
 
 	// An instance neither walker can solve inside its budget, so the
 	// healthy shard always runs to completion unsolved.
@@ -290,7 +296,7 @@ func TestWorkerLossSurfacesAsTruncated(t *testing.T) {
 		}
 		if ws.Result.Iterations == 0 {
 			lost++
-			if !ws.Result.Interrupted || ws.Result.Cost != math.MaxInt {
+			if !ws.Result.Interrupted || ws.Result.Cost != core.CostUnknown {
 				t.Fatalf("lost walker %d not marked empty+Interrupted: %+v", w, ws.Result)
 			}
 		}

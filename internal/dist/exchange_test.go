@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -136,8 +135,9 @@ func TestDistExchangeWorkerLoss(t *testing.T) {
 	lossy := lossyWorker(t, 1, started)
 
 	coord, err := NewCoordinator(CoordinatorConfig{
-		Workers:   []string{healthySrv.URL, lossy.URL},
-		BoardSync: 2 * time.Millisecond,
+		Workers:         []string{healthySrv.URL, lossy.URL},
+		BoardSync:       2 * time.Millisecond,
+		RecoverAttempts: -1, // pin the no-recovery truncation contract
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +164,7 @@ func TestDistExchangeWorkerLoss(t *testing.T) {
 		t.Fatalf("Completed = %d, want 2 (only the healthy shard ran)", res.Completed)
 	}
 	lost := res.Walkers[2]
-	if lost.Result.Iterations != 0 || !lost.Result.Interrupted || lost.Result.Cost != math.MaxInt ||
+	if lost.Result.Iterations != 0 || !lost.Result.Interrupted || lost.Result.Cost != core.CostUnknown ||
 		lost.Adoptions != 0 || lost.Yielded {
 		t.Fatalf("lost walker carries fabricated stats: %+v", lost)
 	}

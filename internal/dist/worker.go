@@ -140,6 +140,14 @@ func NewWorker(cfg WorkerConfig) *Worker {
 // Slots returns the worker's walker-slot capacity.
 func (wk *Worker) Slots() int { return wk.slots }
 
+// Busy returns the worker's currently reserved slot count — the fleet
+// agent reports it in heartbeats.
+func (wk *Worker) Busy() int {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return wk.busy
+}
+
 // Close cancels every in-flight run and waits for them to unwind. New
 // runs are rejected afterwards.
 func (wk *Worker) Close() {

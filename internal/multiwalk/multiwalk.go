@@ -201,8 +201,8 @@ type WalkerStat struct {
 	// Interrupted; in RunVirtual every walker runs to completion unless
 	// the context is cancelled mid-sweep, in which case walkers that
 	// never ran carry an empty Result marked Interrupted (Cost
-	// math.MaxInt, zero iterations). Result.Strategy names the strategy
-	// the walker used.
+	// core.CostUnknown, zero iterations). Result.Strategy names the
+	// strategy the walker used.
 	Result core.Result
 	// Adoptions counts elite-configuration adoptions offered by the
 	// exchange board (dependent mode). A Stop or Restart issued by a
@@ -436,7 +436,7 @@ func RunVirtual(ctx context.Context, factory Factory, opts Options) (Result, err
 			// its identity (index, portfolio entry) intact and mark the
 			// empty result Interrupted so callers can tell "never ran"
 			// from "ran and failed".
-			stats[w] = WalkerStat{Walker: g, Entry: entry, Result: core.Result{Interrupted: true, Cost: math.MaxInt}}
+			stats[w] = WalkerStat{Walker: g, Entry: entry, Result: core.Result{Interrupted: true, Cost: core.CostUnknown}}
 			truncated = true
 			continue
 		}

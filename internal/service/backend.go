@@ -34,6 +34,23 @@ type Backend interface {
 	Close()
 }
 
+// CapacityNotifier is implemented by backends whose Slots() varies over
+// time (an elastic worker fleet). The scheduler registers a callback at
+// construction; the backend invokes it — from any goroutine, holding no
+// scheduler-visible locks — whenever capacity may have changed, and the
+// scheduler re-reads Slots() in response. Detected structurally so
+// Backend implementations outside this package need no import of it.
+type CapacityNotifier interface {
+	NotifyCapacity(func())
+}
+
+// MetricsProvider is implemented by backends with telemetry of their
+// own (fleet membership, shard recovery, failover counters). The map is
+// merged into Stats.Fleet and served from /metrics.
+type MetricsProvider interface {
+	BackendMetrics() map[string]int64
+}
+
 // localBackend is the default execution backend: one goroutine per
 // walker in this process, the paper's one-walker-per-core model sized
 // to GOMAXPROCS.

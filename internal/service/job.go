@@ -110,7 +110,42 @@ type Request struct {
 	// dispatch (not from submission). 0 selects the scheduler default;
 	// values above the configured maximum are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tenant attributes the job for multi-tenant admission: queued jobs
+	// compete under weighted-fair scheduling per tenant, and a tenant's
+	// concurrent slot usage is capped by its configured quota. ""
+	// selects the "default" tenant (weight 1, no quota unless
+	// configured).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the admission class: "high", "normal" or "low"
+	// ("" selects "normal"). Classes are strict — a queued high job is
+	// always preferred over normal and low — while jobs within one
+	// class are ordered by weighted fairness across tenants.
+	Priority string `json:"priority,omitempty"`
 }
+
+// Priority classes, ordered: lower value dispatches first.
+const (
+	classHigh = iota
+	classNormal
+	classLow
+)
+
+// classOf maps a request priority string to its class.
+func classOf(p string) (int, error) {
+	switch p {
+	case "", "normal":
+		return classNormal, nil
+	case "high":
+		return classHigh, nil
+	case "low":
+		return classLow, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown priority %q (want high, normal or low)", ErrBadRequest, p)
+	}
+}
+
+// maxTenantLen bounds tenant names; they appear in metrics keys.
+const maxTenantLen = 64
 
 // PortfolioSpec assigns a strategy a weighted share of the walkers.
 type PortfolioSpec struct {
@@ -159,6 +194,12 @@ type JobResult struct {
 	// showed the job solved elsewhere — distinguishable from walkers
 	// interrupted by cancellation.
 	YieldedWalkers int `json:"yielded_walkers,omitempty"`
+	// BestCost is the best final cost across walkers that actually ran
+	// (0 when solved), or -1 when no walker reported a cost. Walkers
+	// synthesized after a lost shard — and walkers a cancelled sweep
+	// never reached — carry the core.CostUnknown sentinel, which is
+	// never surfaced here as a real cost.
+	BestCost int `json:"best_cost"`
 }
 
 // condenseResult maps the multiwalk result into the transport shape.
@@ -184,10 +225,22 @@ func condenseResult(res *multiwalk.Result) *JobResult {
 		ElapsedMS:        res.Elapsed.Milliseconds(),
 		Adoptions:        res.Adoptions,
 	}
+	jr.BestCost = -1
 	for _, ws := range res.Walkers {
 		if ws.Yielded {
 			jr.YieldedWalkers++
 		}
+		// The CostUnknown sentinel (never-ran walkers, lost shards) is
+		// "no cost", not a candidate — the audit that keeps math.MaxInt
+		// out of every cost summary.
+		if ws.Result.Iterations > 0 && ws.Result.Cost != core.CostUnknown {
+			if jr.BestCost < 0 || ws.Result.Cost < jr.BestCost {
+				jr.BestCost = ws.Result.Cost
+			}
+		}
+	}
+	if res.Solved {
+		jr.BestCost = 0
 	}
 	if res.Winner >= 0 && res.Winner < len(res.Walkers) {
 		jr.WinnerStrategy = res.Walkers[res.Winner].Result.Strategy
@@ -220,11 +273,20 @@ func (s *Scheduler) normalizeRequest(req *Request) (problems.Factory, multiwalk.
 	if req.Walkers == 0 {
 		req.Walkers = 1
 	}
-	if req.Walkers < 0 || req.Walkers > s.cfg.Slots {
-		return nil, zero, fmt.Errorf("%w: walkers = %d outside [1, %d] (pool size)", ErrBadRequest, req.Walkers, s.cfg.Slots)
+	if slots := s.curSlots(); req.Walkers < 0 || req.Walkers > slots {
+		return nil, zero, fmt.Errorf("%w: walkers = %d outside [1, %d] (pool size)", ErrBadRequest, req.Walkers, slots)
 	}
 	if req.MaxIterations < 0 || req.MaxRuns < 0 || req.TimeoutMS < 0 {
 		return nil, zero, fmt.Errorf("%w: negative budget", ErrBadRequest)
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if len(req.Tenant) > maxTenantLen {
+		return nil, zero, fmt.Errorf("%w: tenant name exceeds %d bytes", ErrBadRequest, maxTenantLen)
+	}
+	if _, err := classOf(req.Priority); err != nil {
+		return nil, zero, err
 	}
 
 	// One tuned instance supplies per-problem engine defaults; request

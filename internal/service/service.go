@@ -4,11 +4,14 @@
 //
 // The design follows the paper's resource model directly: one walker is
 // one core's worth of work, so a k-walker job consumes k slots of a
-// pool sized to GOMAXPROCS by default. Admission is FIFO with
-// queue-depth backpressure (ErrQueueFull), each job runs under its own
+// pool sized to GOMAXPROCS by default. Admission is queue-depth
+// backpressured (ErrQueueFull) and weighted-fair across tenants within
+// strict priority classes (see dispatch); each job runs under its own
 // deadline as a child of the scheduler's root context, and finished
 // jobs are kept in an in-memory results store until a TTL janitor
-// evicts them. See DESIGN.md §7 for the slot-accounting rationale.
+// evicts them. The slot pool tracks the backend live: an elastic
+// backend (dist.Coordinator with a dynamic fleet) resizes it as workers
+// join and leave. See DESIGN.md §7 for the slot-accounting rationale.
 package service
 
 import (
@@ -48,6 +51,35 @@ type Config struct {
 	// ResultTTL is how long a finished job stays retrievable. 0 selects
 	// 10m.
 	ResultTTL time.Duration
+	// Tenants sets per-tenant admission policy, keyed by the tenant
+	// name carried on Request.Tenant. Tenants absent from the map (and
+	// the implicit "default" tenant) get weight 1 and no quota.
+	Tenants map[string]TenantPolicy
+}
+
+// TenantPolicy shapes one tenant's share of the walker-slot pool.
+type TenantPolicy struct {
+	// Weight is the tenant's share of capacity under contention: with
+	// tenants A (weight 3) and B (weight 1) both saturating the queue, A
+	// dispatches about three walker-seconds for every one of B's. 0
+	// selects 1.
+	Weight int
+	// MaxSlots caps the tenant's concurrently held walker slots. A job
+	// that would push the tenant past its cap waits without blocking
+	// other tenants' admissions. 0 means uncapped.
+	MaxSlots int
+}
+
+// tenantAcct is the scheduler's per-tenant ledger, guarded by
+// Scheduler.mu. charge is the accrued weighted service — walker-seconds
+// divided by weight — that the fair-share pick compares across tenants.
+type tenantAcct struct {
+	weight     int
+	maxSlots   int
+	inUse      int // walker slots currently held by running jobs
+	queued     int
+	charge     float64
+	dispatched int64
 }
 
 func (c *Config) normalize() {
@@ -82,6 +114,8 @@ type job struct {
 	factory problems.Factory
 	opts    multiwalk.Options
 	timeout time.Duration
+	tenant  string
+	class   int // priority class, from classOf
 
 	done chan struct{} // closed on reaching a terminal state
 
@@ -132,18 +166,26 @@ type Scheduler struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup // dispatcher + janitor + running jobs
 
-	// mu guards the slot pool, the FIFO queue and the jobs store; cond
-	// (on mu) is broadcast whenever any of them changes — new work,
-	// freed slots, a cancellation, shutdown — and wakes the dispatcher.
-	// The queue is a slice, not a channel, so Submit can never block on
-	// a send while holding mu (a queued job that is cancelled leaves
-	// the queue immediately, keeping len(q) == nQueued).
+	// mu guards the slot pool, the admission queue, the tenant ledgers
+	// and the jobs store; cond (on mu) is broadcast whenever any of them
+	// changes — new work, freed slots, a capacity change from the
+	// backend, a cancellation, shutdown — and wakes the dispatcher. The
+	// queue is a slice, not a channel, so Submit can never block on a
+	// send while holding mu (a queued job that is cancelled leaves the
+	// queue immediately, keeping len(q) == nQueued).
 	mu        sync.Mutex
 	cond      *sync.Cond
+	slots     int // live pool size, synced from Backend.Slots()
 	slotsFree int
 	q         []*job
 	jobs      map[string]*job
-	closed    bool
+	tenants   map[string]*tenantAcct
+	// pinned is the dispatch candidate waiting for slots to accumulate.
+	// While set, releases flow toward it rather than leaking to narrower
+	// jobs behind it — the no-starvation guarantee for wide jobs. Only a
+	// strictly higher priority class overrides a pin.
+	pinned *job
+	closed bool
 	// nQueued counts admitted-but-not-yet-running jobs; admission
 	// control tests it against QueueDepth.
 	nQueued int
@@ -179,15 +221,65 @@ func New(cfg Config) *Scheduler {
 		cfg:       cfg,
 		ctx:       ctx,
 		cancel:    cancel,
+		slots:     cfg.Slots,
 		slotsFree: cfg.Slots,
 		jobs:      make(map[string]*job),
+		tenants:   make(map[string]*tenantAcct),
 		start:     time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// An elastic backend pushes capacity changes; the dispatcher re-syncs
+	// the pool and re-picks on every wake, so a worker joining mid-queue
+	// unblocks waiting jobs without polling.
+	if cn, ok := cfg.Backend.(CapacityNotifier); ok {
+		cn.NotifyCapacity(func() {
+			s.mu.Lock()
+			s.syncSlotsLocked()
+			s.mu.Unlock()
+			s.cond.Broadcast()
+		})
+	}
 	s.wg.Add(2)
 	go s.dispatch()
 	go s.janitor()
 	return s
+}
+
+// syncSlotsLocked reconciles the slot pool with the backend's current
+// capacity. Shrinks can drive slotsFree temporarily negative while
+// running jobs still hold slots on lost workers; releases restore it.
+func (s *Scheduler) syncSlotsLocked() {
+	if cur := s.cfg.Backend.Slots(); cur != s.slots {
+		s.slotsFree += cur - s.slots
+		s.slots = cur
+	}
+}
+
+// curSlots returns the live pool size (admission validates against it).
+func (s *Scheduler) curSlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncSlotsLocked()
+	return s.slots
+}
+
+// tenantLocked returns (creating on first use) the tenant's ledger,
+// seeded from the configured policy. Callers hold s.mu.
+func (s *Scheduler) tenantLocked(name string) *tenantAcct {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantAcct{weight: 1}
+		if pol, ok := s.cfg.Tenants[name]; ok {
+			if pol.Weight > 0 {
+				t.weight = pol.Weight
+			}
+			if pol.MaxSlots > 0 {
+				t.maxSlots = pol.MaxSlots
+			}
+		}
+		s.tenants[name] = t
+	}
+	return t
 }
 
 // Config returns the normalized configuration the scheduler runs with.
@@ -210,12 +302,15 @@ func (s *Scheduler) Submit(req Request) (Job, error) {
 		req.Seed = seq*0x9e3779b97f4a7c15 + 1
 	}
 	opts.Seed = req.Seed
+	class, _ := classOf(req.Priority) // validated by normalizeRequest
 	j := &job{
 		id:        fmt.Sprintf("j%06d", seq),
 		req:       req,
 		factory:   factory,
 		opts:      opts,
 		timeout:   s.timeoutFor(&req),
+		tenant:    req.Tenant,
+		class:     class,
 		done:      make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -234,6 +329,7 @@ func (s *Scheduler) Submit(req Request) (Job, error) {
 		return Job{}, ErrQueueFull
 	}
 	s.nQueued++
+	s.tenantLocked(j.tenant).queued++
 	s.q = append(s.q, j)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
@@ -372,11 +468,14 @@ func (s *Scheduler) Closed() bool {
 	return s.closed
 }
 
-// dispatch is the single admission loop: it pops jobs FIFO, waits for
-// the head job's slot demand to be satisfiable, and launches the run.
-// A k-walker job at the head of the queue blocks later jobs until its
-// k slots free up — strict FIFO, by design (no-starvation for wide
-// jobs). The cond is broadcast on every queue/slot/lifecycle change.
+// dispatch is the single admission loop. Each round it re-syncs the
+// slot pool with the backend (elastic fleets change capacity between
+// rounds), picks a candidate under weighted-fair multi-tenant rules
+// (see pickLocked), and either launches it or pins it while its slot
+// demand accumulates. A pinned wide job blocks later dispatches until
+// it fits — the no-starvation guarantee FIFO used to provide — except
+// that a strictly higher priority class may take the pin over. The
+// cond is broadcast on every queue/slot/capacity/lifecycle change.
 func (s *Scheduler) dispatch() {
 	defer s.wg.Done()
 	s.mu.Lock()
@@ -391,26 +490,38 @@ func (s *Scheduler) dispatch() {
 			}
 			return
 		}
-		if len(s.q) == 0 {
+		s.syncSlotsLocked()
+		j := s.pickLocked()
+		if j == nil {
 			s.cond.Wait()
 			continue
 		}
-		j := s.q[0]
-		j.mu.Lock()
-		queued := j.state == StateQueued
-		j.mu.Unlock()
-		if !queued {
-			// Defensive only: cancelled jobs leave the queue eagerly
-			// under s.mu.
-			s.q = s.q[1:]
+		if s.slots > 0 && j.opts.Walkers > s.slots {
+			// The fleet shrank below the job's width after admission: it
+			// can never fit, so fail it rather than wedging the queue.
+			// (An empty pool is transient — workers rejoin — so jobs
+			// wait it out instead.)
+			s.removeQueuedLocked(j)
+			s.mu.Unlock()
+			s.finalizeQueued(j, fmt.Errorf("pool shrank to %d slots below the job's %d walkers", s.slots, j.opts.Walkers))
+			s.mu.Lock()
 			continue
 		}
 		if s.slotsFree < j.opts.Walkers {
+			s.pinned = j
 			s.cond.Wait()
 			continue
 		}
+		s.pinned = nil
+		s.removeQueuedLocked(j)
 		s.slotsFree -= j.opts.Walkers
-		s.q = s.q[1:]
+		t := s.tenantLocked(j.tenant)
+		t.inUse += j.opts.Walkers
+		t.dispatched++
+		// An up-front charge of one walker-second-equivalent per walker
+		// moves the fairness needle even for near-instant jobs, so a
+		// tenant flooding short jobs cannot stay at zero accrued service.
+		t.charge += float64(j.opts.Walkers) / float64(t.weight)
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.runJob(j)
@@ -418,10 +529,97 @@ func (s *Scheduler) dispatch() {
 	}
 }
 
-// releaseSlots returns a job's slots to the pool.
-func (s *Scheduler) releaseSlots(n int) {
+// pickLocked selects the next dispatch candidate: the earliest-arrived
+// job of each (tenant, class) pair is a head; quota-blocked heads are
+// skipped (a capped tenant never blocks others); among the rest the
+// highest class wins, and within a class the tenant with the least
+// accrued weighted service — ties keep the earlier arrival. A valid
+// pinned candidate is returned unless a strictly higher class waits.
+// Callers hold s.mu.
+func (s *Scheduler) pickLocked() *job {
+	pinned := s.pinned
+	if pinned != nil && (!s.inQueueLocked(pinned) || s.quotaBlockedLocked(pinned)) {
+		// The pin lapsed: cancelled out of the queue, or its tenant hit
+		// quota and must not wedge the pool.
+		s.pinned = nil
+		pinned = nil
+	}
+	type head struct {
+		tenant string
+		class  int
+	}
+	seen := make(map[head]bool)
+	var best *job
+	var bestT *tenantAcct
+	for _, j := range s.q {
+		k := head{j.tenant, j.class}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if s.quotaBlockedLocked(j) {
+			continue
+		}
+		t := s.tenantLocked(j.tenant)
+		switch {
+		case best == nil:
+			best, bestT = j, t
+		case j.class != best.class:
+			if j.class < best.class {
+				best, bestT = j, t
+			}
+		case t.charge < bestT.charge:
+			best, bestT = j, t
+		}
+	}
+	if pinned != nil && (best == nil || best.class >= pinned.class) {
+		return pinned
+	}
+	return best
+}
+
+// quotaBlockedLocked reports whether dispatching j now would push its
+// tenant past MaxSlots. Callers hold s.mu.
+func (s *Scheduler) quotaBlockedLocked(j *job) bool {
+	t := s.tenantLocked(j.tenant)
+	return t.maxSlots > 0 && t.inUse+j.opts.Walkers > t.maxSlots
+}
+
+// inQueueLocked reports whether j is still in the admission queue.
+func (s *Scheduler) inQueueLocked(j *job) bool {
+	for _, qj := range s.q {
+		if qj == j {
+			return true
+		}
+	}
+	return false
+}
+
+// removeQueuedLocked removes j from the admission queue.
+func (s *Scheduler) removeQueuedLocked(j *job) {
+	for i, qj := range s.q {
+		if qj == j {
+			s.q = append(s.q[:i:i], s.q[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseSlots returns a job's slots to the pool and settles its
+// tenant's weighted-service charge for the walker-seconds consumed.
+func (s *Scheduler) releaseSlots(j *job) {
+	j.mu.Lock()
+	started := j.started
+	j.mu.Unlock()
+	var elapsed float64
+	if !started.IsZero() {
+		elapsed = time.Since(started).Seconds()
+	}
 	s.mu.Lock()
-	s.slotsFree += n
+	s.slotsFree += j.opts.Walkers
+	t := s.tenantLocked(j.tenant)
+	t.inUse -= j.opts.Walkers
+	t.charge += float64(j.opts.Walkers) * elapsed / float64(t.weight)
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -430,7 +628,7 @@ func (s *Scheduler) releaseSlots(n int) {
 // duration.
 func (s *Scheduler) runJob(j *job) {
 	defer s.wg.Done()
-	defer s.releaseSlots(j.opts.Walkers)
+	defer s.releaseSlots(j)
 
 	runCtx, cancel := context.WithTimeout(s.ctx, j.timeout)
 	defer cancel()
@@ -445,7 +643,7 @@ func (s *Scheduler) runJob(j *job) {
 	j.started = time.Now()
 	j.cancelRun = cancel
 	j.mu.Unlock()
-	s.decQueued()
+	s.decQueued(j)
 	s.mRunning.Add(1)
 	j.emit(ProgressEvent{JobID: j.id, State: StateRunning, Walker: -1})
 
@@ -484,7 +682,7 @@ func (s *Scheduler) finalizeQueued(j *job, err error) bool {
 	// Counters move before done is closed so a waiter woken by
 	// Wait/SubmitWait never reads Stats from before its own job's
 	// terminal transition.
-	s.decQueued()
+	s.decQueued(j)
 	s.mCancelled.Add(1)
 	close(j.done)
 	j.finishWatchers(j.snapshot())
@@ -509,7 +707,7 @@ func (s *Scheduler) finalize(j *job, state State, res *multiwalk.Result, err err
 	// Counters move before done is closed (see finalizeQueued).
 	switch prev {
 	case StateQueued:
-		s.decQueued()
+		s.decQueued(j)
 	case StateRunning:
 		s.mRunning.Add(-1)
 	}
@@ -535,11 +733,13 @@ func (s *Scheduler) finalize(j *job, state State, res *multiwalk.Result, err err
 	j.finishWatchers(j.snapshot())
 }
 
-// decQueued releases one admission-queue position. Callers must not
-// hold s.mu (finalize is only ever invoked outside it).
-func (s *Scheduler) decQueued() {
+// decQueued releases one admission-queue position and the tenant's
+// queued count. Callers must not hold s.mu (finalize is only ever
+// invoked outside it).
+func (s *Scheduler) decQueued(j *job) {
 	s.mu.Lock()
 	s.nQueued--
+	s.tenantLocked(j.tenant).queued--
 	s.mu.Unlock()
 }
 
@@ -645,20 +845,53 @@ type Stats struct {
 	Adoptions int64 `json:"adoptions_total"`
 	Yielded   int64 `json:"yielded_total"`
 	UptimeMS  int64 `json:"uptime_ms"`
+	// Tenants is the per-tenant admission ledger (populated once a
+	// tenant has submitted at least one job).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	// Fleet carries the backend's own gauges and counters when it
+	// exposes them (a dist.Coordinator reports worker states, recovered
+	// shards, dispatch failovers, ...). Absent for the local pool.
+	Fleet map[string]int64 `json:"fleet,omitempty"`
+}
+
+// TenantStats is one tenant's admission ledger snapshot.
+type TenantStats struct {
+	Weight     int     `json:"weight"`
+	MaxSlots   int     `json:"max_slots,omitempty"`
+	SlotsBusy  int     `json:"slots_busy"`
+	Queued     int     `json:"queued"`
+	Dispatched int64   `json:"jobs_dispatched"`
+	Charge     float64 `json:"charge"`
 }
 
 // Stats assembles the current metrics snapshot.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
-	busy := s.cfg.Slots - s.slotsFree
+	s.syncSlotsLocked()
+	slots := s.slots
+	busy := slots - s.slotsFree
 	stored := len(s.jobs)
 	depth := s.nQueued
+	var tenants map[string]TenantStats
+	if len(s.tenants) > 0 {
+		tenants = make(map[string]TenantStats, len(s.tenants))
+		for name, t := range s.tenants {
+			tenants[name] = TenantStats{
+				Weight:     t.weight,
+				MaxSlots:   t.maxSlots,
+				SlotsBusy:  t.inUse,
+				Queued:     t.queued,
+				Dispatched: t.dispatched,
+				Charge:     t.charge,
+			}
+		}
+	}
 	s.mu.Unlock()
 	up := time.Since(s.start)
 	iters := s.mIterations.Load()
 	st := Stats{
 		Backend:       s.cfg.Backend.Name(),
-		Slots:         s.cfg.Slots,
+		Slots:         slots,
 		SlotsBusy:     busy,
 		QueueDepth:    depth,
 		QueueCapacity: s.cfg.QueueDepth,
@@ -675,9 +908,13 @@ func (s *Scheduler) Stats() Stats {
 		Adoptions:     s.mAdoptions.Load(),
 		Yielded:       s.mYielded.Load(),
 		UptimeMS:      up.Milliseconds(),
+		Tenants:       tenants,
 	}
 	if sec := up.Seconds(); sec > 0 {
 		st.IterationsPerSec = float64(iters) / sec
+	}
+	if mp, ok := s.cfg.Backend.(MetricsProvider); ok {
+		st.Fleet = mp.BackendMetrics()
 	}
 	return st
 }

@@ -234,6 +234,7 @@ func wireResult(r *JobResult) *wire.ProgressResult {
 		ElapsedMS:        r.ElapsedMS,
 		Adoptions:        r.Adoptions,
 		Yielded:          int64(r.YieldedWalkers),
+		BestCost:         int64(r.BestCost),
 		Solution:         r.Solution,
 	}
 }
@@ -256,6 +257,7 @@ func JobFromProgress(p *wire.Progress) Job {
 			ElapsedMS:        r.ElapsedMS,
 			Adoptions:        r.Adoptions,
 			YieldedWalkers:   int(r.Yielded),
+			BestCost:         int(r.BestCost),
 			Solution:         r.Solution,
 		}
 	}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRegisterRoundTrip(t *testing.T) {
+	cases := []Register{
+		{},
+		{URL: "http://10.0.0.7:9101", Slots: 8, Wire: true, Stream: true},
+		{URL: "https://worker.example:443/base", Slots: 1},
+	}
+	for _, in := range cases {
+		buf := frameOf(t, func(e *Encoder, dst []byte) ([]byte, error) { return e.RegisterFrame(dst, &in) })
+		typ, payload, rest, err := DecodeFrame(buf)
+		if err != nil || typ != TypeRegister || len(rest) != 0 {
+			t.Fatalf("DecodeFrame: typ=%#x rest=%d err=%v", typ, len(rest), err)
+		}
+		out, err := DecodeRegister(payload)
+		if err != nil {
+			t.Fatalf("DecodeRegister(%+v): %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	cases := []Heartbeat{
+		{},
+		{URL: "http://10.0.0.7:9101", Slots: 8, Busy: 3},
+		{URL: "http://w:1", Slots: 2, Busy: 2, Draining: true},
+	}
+	for _, in := range cases {
+		buf := frameOf(t, func(e *Encoder, dst []byte) ([]byte, error) { return e.HeartbeatFrame(dst, &in) })
+		typ, payload, rest, err := DecodeFrame(buf)
+		if err != nil || typ != TypeHeartbeat || len(rest) != 0 {
+			t.Fatalf("DecodeFrame: typ=%#x rest=%d err=%v", typ, len(rest), err)
+		}
+		out, err := DecodeHeartbeat(payload)
+		if err != nil {
+			t.Fatalf("DecodeHeartbeat(%+v): %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
+	}
+}
+
+// TestFleetDecodeErrorsAreTyped: truncated fleet payloads surface a
+// typed decode error, never a panic or a zero-value message taken as
+// valid.
+func TestFleetDecodeErrorsAreTyped(t *testing.T) {
+	reg := frameOf(t, func(e *Encoder, dst []byte) ([]byte, error) {
+		return e.RegisterFrame(dst, &Register{URL: "http://w:9", Slots: 4, Wire: true})
+	})
+	_, payload, _, err := DecodeFrame(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := DecodeRegister(payload[:cut]); !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated register at %d: err = %v, want a typed decode error", cut, err)
+		}
+	}
+
+	hb := frameOf(t, func(e *Encoder, dst []byte) ([]byte, error) {
+		return e.HeartbeatFrame(dst, &Heartbeat{URL: "http://w:9", Slots: 4, Busy: 1, Draining: true})
+	})
+	_, payload, _, err = DecodeFrame(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := DecodeHeartbeat(payload[:cut]); !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated heartbeat at %d: err = %v, want a typed decode error", cut, err)
+		}
+	}
+}

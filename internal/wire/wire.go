@@ -70,6 +70,12 @@ const (
 	TypeProgress byte = 0x04
 	// TypeRunSpec carries one shard run request (binary dispatch).
 	TypeRunSpec byte = 0x05
+	// TypeRegister carries one fleet-membership announcement (worker →
+	// coordinator).
+	TypeRegister byte = 0x06
+	// TypeHeartbeat carries one fleet liveness refresh (worker →
+	// coordinator).
+	TypeHeartbeat byte = 0x07
 )
 
 // Structural caps applied at decode time, before any allocation.
@@ -132,6 +138,9 @@ type Progress struct {
 }
 
 // ProgressResult condenses a terminal job result for the stream.
+// BestCost is the best known final cost across walkers that actually
+// ran, or -1 when no walker reported one — the unknown-cost sentinel
+// (core.CostUnknown, math.MaxInt) never crosses the wire as a cost.
 type ProgressResult struct {
 	Solved           bool
 	Winner           int64
@@ -143,6 +152,7 @@ type ProgressResult struct {
 	ElapsedMS        int64
 	Adoptions        int64
 	Yielded          int64
+	BestCost         int64
 	Solution         []int
 }
 
@@ -201,6 +211,29 @@ type ExchangeSpec struct {
 	AdoptFactor  float64
 	PerturbSwaps int64
 	SyncMS       int64
+}
+
+// Register announces a worker to the coordinator's fleet registry. URL
+// is the worker's advertised base URL (the coordinator probes it back
+// before enrolling); Slots/Wire/Stream describe the worker's claimed
+// capability, re-verified by the probe.
+type Register struct {
+	URL    string
+	Slots  int64
+	Wire   bool
+	Stream bool
+}
+
+// Heartbeat refreshes a registered worker's liveness and capability.
+// Busy is the worker's own busy-slot count (diagnostic; the coordinator
+// keeps its own reservation ledger). Draining announces a graceful
+// leave: the coordinator stops dispatching to the worker but lets
+// in-flight shards finish.
+type Heartbeat struct {
+	URL      string
+	Slots    int64
+	Busy     int64
+	Draining bool
 }
 
 // ---------------------------------------------------------------------
@@ -520,6 +553,7 @@ func AppendProgress(dst []byte, p *Progress) []byte {
 		dst = binary.AppendVarint(dst, r.ElapsedMS)
 		dst = binary.AppendVarint(dst, r.Adoptions)
 		dst = binary.AppendVarint(dst, r.Yielded)
+		dst = binary.AppendVarint(dst, r.BestCost)
 		dst = appendInts(dst, r.Solution)
 	}
 	return dst
@@ -549,6 +583,7 @@ func DecodeProgress(p []byte) (Progress, error) {
 			ElapsedMS:        d.varint(),
 			Adoptions:        d.varint(),
 			Yielded:          d.varint(),
+			BestCost:         d.varint(),
 			Solution:         d.ints(),
 		}
 	}
@@ -676,6 +711,46 @@ func DecodeRunSpec(p []byte) (RunSpec, error) {
 	return r, d.finish()
 }
 
+// AppendRegister appends a Register payload.
+func AppendRegister(dst []byte, r *Register) []byte {
+	dst = appendString(dst, r.URL)
+	dst = binary.AppendVarint(dst, r.Slots)
+	dst = appendBool(dst, r.Wire)
+	return appendBool(dst, r.Stream)
+}
+
+// DecodeRegister parses a Register payload.
+func DecodeRegister(p []byte) (Register, error) {
+	d := decoder{buf: p}
+	r := Register{
+		URL:    d.string(),
+		Slots:  d.varint(),
+		Wire:   d.bool(),
+		Stream: d.bool(),
+	}
+	return r, d.finish()
+}
+
+// AppendHeartbeat appends a Heartbeat payload.
+func AppendHeartbeat(dst []byte, h *Heartbeat) []byte {
+	dst = appendString(dst, h.URL)
+	dst = binary.AppendVarint(dst, h.Slots)
+	dst = binary.AppendVarint(dst, h.Busy)
+	return appendBool(dst, h.Draining)
+}
+
+// DecodeHeartbeat parses a Heartbeat payload.
+func DecodeHeartbeat(p []byte) (Heartbeat, error) {
+	d := decoder{buf: p}
+	h := Heartbeat{
+		URL:      d.string(),
+		Slots:    d.varint(),
+		Busy:     d.varint(),
+		Draining: d.bool(),
+	}
+	return h, d.finish()
+}
+
 // ---------------------------------------------------------------------
 // Framing.
 
@@ -725,6 +800,18 @@ func (e *Encoder) ProgressFrame(dst []byte, p *Progress) ([]byte, error) {
 func (e *Encoder) RunSpecFrame(dst []byte, r *RunSpec) ([]byte, error) {
 	e.scratch = AppendRunSpec(e.scratch[:0], r)
 	return e.frame(dst, TypeRunSpec)
+}
+
+// RegisterFrame appends a framed Register to dst.
+func (e *Encoder) RegisterFrame(dst []byte, r *Register) ([]byte, error) {
+	e.scratch = AppendRegister(e.scratch[:0], r)
+	return e.frame(dst, TypeRegister)
+}
+
+// HeartbeatFrame appends a framed Heartbeat to dst.
+func (e *Encoder) HeartbeatFrame(dst []byte, h *Heartbeat) ([]byte, error) {
+	e.scratch = AppendHeartbeat(e.scratch[:0], h)
+	return e.frame(dst, TypeHeartbeat)
 }
 
 // DecodeFrame splits one frame off data, returning its type, payload
