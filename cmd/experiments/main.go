@@ -47,6 +47,10 @@ func run() error {
 		benchRelative  = flag.Bool("bench-relative", false, "normalize the -bench-compare ratios by their suite-wide median, cancelling machine-speed differences (for CI gating against a baseline measured elsewhere)")
 		benchMarkdown  = flag.Bool("bench-md", false, "also print the -bench-json results as the README's markdown table")
 
+		benchTail     = flag.String("bench-tail", "", "measure distributed job tail latency with and without straggler speculation and write the report to this JSON file (skips the experiment suite)")
+		benchTailReps = flag.Int("bench-tail-reps", 15, "jobs timed per arm in -bench-tail mode")
+		benchStraggle = flag.Duration("bench-straggle", 1200*time.Millisecond, "injected shard-dispatch delay on the straggler worker in -bench-tail mode")
+
 		ftdcDecode = flag.String("ftdc-decode", "", "decode an FTDC-style telemetry file (cmd/serve -telemetry, cmd/worker -telemetry) to CSV on stdout (skips the experiment suite)")
 	)
 	flag.Parse()
@@ -64,6 +68,9 @@ func run() error {
 
 	if *benchJSON != "" {
 		return runBenchJSON(ctx, *benchJSON, *seed, *benchIters, *benchCompare, *benchThreshold, *benchRelative, *benchMarkdown)
+	}
+	if *benchTail != "" {
+		return runBenchTail(ctx, *benchTail, *seed, *benchTailReps, *benchStraggle)
 	}
 
 	want := map[string]bool{}
@@ -204,6 +211,39 @@ func run() error {
 		}
 		fmt.Printf("artifacts written to %s\n", *outDir)
 	}
+	return nil
+}
+
+// runBenchTail is the -bench-tail mode: measure the distributed
+// job-latency distribution under an injected straggler with and
+// without speculative re-dispatch, and write BENCH_tail_latency.json.
+// The job template is fixed (4 walkers of costas 18, a 5k-iteration
+// budget — small enough that the injected delay, not engine work,
+// dominates the baseline tail) so committed reports stay comparable.
+func runBenchTail(ctx context.Context, outPath string, seed uint64, reps int, straggle time.Duration) error {
+	const (
+		walkers    = 4
+		iterBudget = 5_000
+	)
+	w := bench.Workload{Benchmark: "costas", Size: 18}
+	fmt.Printf("measuring straggler tail latency (%d reps per arm, %v injected delay)...\n", reps, straggle)
+	report, err := bench.CollectSpeculationDist(ctx, w, walkers, reps, seed, iterBudget, straggle)
+	if err != nil {
+		return err
+	}
+	for _, arm := range []*bench.TailLatency{&report.Baseline, &report.Speculated} {
+		name := "speculate-off"
+		if arm.Speculate {
+			name = "speculate-on "
+		}
+		fmt.Printf("%s p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms (backups launched=%d won=%d)\n",
+			name, arm.P50MS, arm.P95MS, arm.P99MS, arm.MaxMS,
+			arm.SpeculationsLaunched, arm.SpeculationsWon)
+	}
+	if err := report.WriteJSON(outPath); err != nil {
+		return err
+	}
+	fmt.Printf("tail-latency report written to %s\n", outPath)
 	return nil
 }
 

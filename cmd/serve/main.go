@@ -29,6 +29,15 @@
 // scheduler's admission pool resizes live as workers join and leave
 // (see DESIGN.md §13).
 //
+// With -speculate, the coordinator also routes around *slow* workers:
+// shards report progress, a detector flags any shard lagging more than
+// -speculate-threshold behind the job's median, and the lagging range
+// is re-dispatched on a free healthy worker — whichever copy finishes
+// first wins, the loser is cancelled and its duplicate result dropped.
+// Walker identity is global, so both copies are bit-for-bit identical
+// and speculation trades spare slots for tail latency with no effect
+// on results (see DESIGN.md §14).
+//
 // -tenants assigns weighted-fair shares and slot quotas per tenant
 // (requests carry {"tenant": ..., "priority": ...}); unlisted tenants
 // get weight 1 and no cap.
@@ -114,6 +123,8 @@ func run() error {
 		streamAddr     = flag.String("stream-addr", "", "job-progress stream listen address (empty = 127.0.0.1:0)")
 		streamAdv      = flag.String("stream-advertise", "", "host:port clients use to reach the progress stream (empty = derived from the stream listener; set it when clients are on other hosts)")
 		boardStream    = flag.String("board-stream-addr", "", "board stream listen address for -stream -workers fleets (empty = 127.0.0.1:0; started lazily on the first exchange job)")
+		speculate      = flag.Bool("speculate", false, "re-dispatch straggling shards speculatively on free healthy workers and keep whichever copy finishes first (needs a distributed backend)")
+		speculateThr   = flag.Float64("speculate-threshold", 0, "straggler threshold: a shard speculates when its per-walker progress x threshold < the job median (0 = 2, must be > 1)")
 		telemetryPath  = flag.String("telemetry", "", "append FTDC-style telemetry frames to this file (empty = off)")
 		telemetryEvery = flag.Duration("telemetry-interval", time.Second, "telemetry sampling period")
 	)
@@ -134,18 +145,23 @@ func run() error {
 			workerURLs = strings.Split(*workers, ",")
 		}
 		coord, err = dist.NewCoordinator(dist.CoordinatorConfig{
-			Workers:           workerURLs,
-			Dynamic:           *fleet,
-			HeartbeatInterval: *fleetHeartbeat,
-			RecoverAttempts:   *recoverRounds,
-			BoardAddr:         *boardAddr,
-			BoardAdvertise:    *boardAdvertise,
-			BoardSync:         *boardSync,
-			Stream:            streaming,
-			StreamAddr:        *boardStream,
+			Workers:            workerURLs,
+			Dynamic:            *fleet,
+			HeartbeatInterval:  *fleetHeartbeat,
+			RecoverAttempts:    *recoverRounds,
+			BoardAddr:          *boardAddr,
+			BoardAdvertise:     *boardAdvertise,
+			BoardSync:          *boardSync,
+			Stream:             streaming,
+			StreamAddr:         *boardStream,
+			Speculate:          *speculate,
+			SpeculateThreshold: *speculateThr,
 		})
 		if err != nil {
 			return err
+		}
+		if *speculate {
+			log.Printf("serve: straggler speculation on (threshold %v)", *speculateThr)
 		}
 		for _, w := range coord.Workers() {
 			log.Printf("serve: enrolled worker %s (%d slots)", w.URL, w.Slots)

@@ -20,7 +20,12 @@
 // board sync: the worker keeps one persistent multiplexed binary
 // connection to the coordinator's board and publishes deltas on
 // change, instead of the periodic HTTP POST loop. A dead stream falls
-// back to HTTP mid-run and re-dials on the next run. With -telemetry
+// back to HTTP mid-run and re-dials on the next run. When a run
+// request carries a progress feed (the coordinator's -speculate mode),
+// the worker also reports per-shard iteration counts on the requested
+// cadence — over the stream when one is up, HTTP otherwise — so the
+// coordinator's straggler detector can see how far behind this shard
+// is. With -telemetry
 // FILE, per-walker iteration/cost samples are appended to FILE in the
 // FTDC-style schema-delta encoding (decode with `experiments
 // -ftdc-decode FILE`).

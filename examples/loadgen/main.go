@@ -613,4 +613,9 @@ func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[
 		fmt.Printf("server: %d iterations total (%.0f iters/s), peak pool %d slots\n",
 			stats.Iterations, stats.IterationsPerSec, stats.Slots)
 	}
+	if n := stats.Fleet["speculations_launched"]; n > 0 {
+		fmt.Printf("speculation: %d launched, %d won, %d lost, %d cancelled\n",
+			n, stats.Fleet["speculations_won"], stats.Fleet["speculations_lost"],
+			stats.Fleet["speculations_cancelled"])
+	}
 }

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCollectSpeculationDist(t *testing.T) {
+	w := Workload{Benchmark: "costas", Size: 18}
+	const straggle = 600 * time.Millisecond
+	rep, err := CollectSpeculationDist(context.Background(), w, 4, 3, 99, 200, straggle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline arm cannot beat the injected delay: its straggler
+	// shard is held for the full straggle before it even starts.
+	if rep.Baseline.P50MS < float64(straggle.Milliseconds()) {
+		t.Errorf("baseline P50 %.1fms beat the %v injected delay", rep.Baseline.P50MS, straggle)
+	}
+	if rep.Baseline.SpeculationsLaunched != 0 {
+		t.Errorf("speculation-off arm launched %d backups", rep.Baseline.SpeculationsLaunched)
+	}
+	// The speculated arm should detect the stalled shard and finish on
+	// the backup well before the hold expires.
+	if rep.Speculated.SpeculationsLaunched < 1 || rep.Speculated.SpeculationsWon < 1 {
+		t.Errorf("speculated arm: launched=%d won=%d, want both >= 1",
+			rep.Speculated.SpeculationsLaunched, rep.Speculated.SpeculationsWon)
+	}
+	if rep.Speculated.P95MS >= rep.Baseline.P50MS {
+		t.Errorf("speculation did not cut the tail: speculated P95 %.1fms vs baseline P50 %.1fms",
+			rep.Speculated.P95MS, rep.Baseline.P50MS)
+	}
+
+	// Misuse guards.
+	if _, err := CollectSpeculationDist(context.Background(), w, 1, 1, 1, 100, straggle); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CollectSpeculationDist(context.Background(), w, 4, 1, 1, 0, straggle); err == nil {
+		t.Error("zero iteration budget accepted")
+	}
+	if _, err := CollectSpeculationDist(context.Background(), w, 4, 1, 1, 100, 0); err == nil {
+		t.Error("zero straggle delay accepted")
+	}
+}

@@ -78,6 +78,32 @@ type CoordinatorConfig struct {
 	// selects 127.0.0.1:0; set it (with a routable host) when workers
 	// are on other machines. Only used when Stream is set.
 	StreamAddr string
+	// Speculate enables straggler speculation for wall-clock (Run mode)
+	// jobs: workers report per-shard progress, a detector compares each
+	// running shard against the job's median, and a shard lagging past
+	// SpeculateThreshold is re-dispatched on a free healthy worker —
+	// whichever copy finishes first wins, the loser is cancelled, and
+	// its late result is dropped before shard merging. Global walker
+	// identity makes the two copies bit-for-bit identical, so
+	// speculation trades slots for tail latency with zero correctness
+	// risk.
+	Speculate bool
+	// SpeculateThreshold is how far behind the job's median per-walker
+	// iteration count a shard must lag before a backup launches: a
+	// shard speculates when its progress × threshold < median. Must be
+	// > 1; 0 selects 2 (lagging more than 2× behind).
+	SpeculateThreshold float64
+	// SpeculateAfter is the minimum job age before the detector acts —
+	// short jobs finish before any backup could help, so they never
+	// speculate. 0 selects 2s.
+	SpeculateAfter time.Duration
+	// SpeculateInterval is the detector's evaluation period. 0 selects
+	// 500ms.
+	SpeculateInterval time.Duration
+	// ProgressInterval is the per-shard progress report cadence stamped
+	// into speculation-enabled run requests. 0 lets each worker apply
+	// its default (250ms).
+	ProgressInterval time.Duration
 }
 
 // JobSpec describes one distributed multi-walk job. It is the
@@ -139,16 +165,34 @@ type Coordinator struct {
 	boardSync time.Duration
 	stream    bool
 
-	monitorStop  chan struct{}
-	monitorDone  chan struct{}
-	monitorOnce  sync.Once
-	mLostShards  atomic.Int64
-	mRecShards   atomic.Int64
-	mRecWalkers  atomic.Int64
-	mFailovers   atomic.Int64
-	mTruncations atomic.Int64
-	mProbeFails  atomic.Int64
-	mProbesDone  atomic.Int64
+	speculate     bool
+	specThreshold float64
+	specAfter     time.Duration
+	specInterval  time.Duration
+	progInterval  time.Duration
+
+	// prog is the straggler detector's input: one entry per tracked
+	// in-flight shard run, fed by worker progress reports (stream
+	// frames or HTTP fallback) and finalized from the shard's own
+	// outcome when it resolves.
+	progMu sync.Mutex
+	prog   map[string]*shardProg
+
+	monitorStop    chan struct{}
+	monitorDone    chan struct{}
+	monitorOnce    sync.Once
+	mLostShards    atomic.Int64
+	mRecShards     atomic.Int64
+	mRecWalkers    atomic.Int64
+	mRecRounds     atomic.Int64
+	mFailovers     atomic.Int64
+	mTruncations   atomic.Int64
+	mProbeFails    atomic.Int64
+	mProbesDone    atomic.Int64
+	mSpecLaunched  atomic.Int64
+	mSpecWon       atomic.Int64
+	mSpecLost      atomic.Int64
+	mSpecCancelled atomic.Int64
 }
 
 // newFleetClient is the coordinator's default HTTP client: one shared
@@ -197,6 +241,21 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.BoardSync < 0 {
 		return nil, errors.New("dist: CoordinatorConfig.BoardSync must be >= 0")
 	}
+	specThreshold := cfg.SpeculateThreshold
+	if specThreshold == 0 {
+		specThreshold = 2
+	}
+	if specThreshold <= 1 {
+		return nil, errors.New("dist: CoordinatorConfig.SpeculateThreshold must be > 1 (a shard speculates when progress x threshold < median)")
+	}
+	specAfter := cfg.SpeculateAfter
+	if specAfter <= 0 {
+		specAfter = 2 * time.Second
+	}
+	specInterval := cfg.SpeculateInterval
+	if specInterval <= 0 {
+		specInterval = 500 * time.Millisecond
+	}
 	c := &Coordinator{
 		client:          client,
 		reg:             newRegistry(),
@@ -206,9 +265,16 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		boards:          newBoardHub(cfg.BoardAddr, cfg.BoardAdvertise, cfg.StreamAddr),
 		boardSync:       cfg.BoardSync,
 		stream:          cfg.Stream,
+		speculate:       cfg.Speculate,
+		specThreshold:   specThreshold,
+		specAfter:       specAfter,
+		specInterval:    specInterval,
+		progInterval:    cfg.ProgressInterval,
+		prog:            make(map[string]*shardProg),
 		monitorStop:     make(chan struct{}),
 		monitorDone:     make(chan struct{}),
 	}
+	c.boards.onShardProgress = c.recordShardProgress
 	now := time.Now()
 	for _, base := range cfg.Workers {
 		slots, wireOK, err := c.probe(base, probeTimeout)
@@ -344,6 +410,7 @@ func (c *Coordinator) NotifyCapacity(f func()) {
 // serving layer's Stats (structurally, like service.Backend itself).
 func (c *Coordinator) BackendMetrics() map[string]int64 {
 	healthy, suspect, dead, draining := c.reg.counts()
+	tracked, maxAge := c.progressGauges(time.Now())
 	return map[string]int64{
 		"fleet_workers":          int64(c.reg.size()),
 		"fleet_healthy":          int64(healthy),
@@ -358,8 +425,15 @@ func (c *Coordinator) BackendMetrics() map[string]int64 {
 		"shards_lost":            c.mLostShards.Load(),
 		"shards_recovered":       c.mRecShards.Load(),
 		"walkers_recovered":      c.mRecWalkers.Load(),
+		"recovery_rounds":        c.mRecRounds.Load(),
 		"dispatch_failovers":     c.mFailovers.Load(),
 		"jobs_truncated_by_loss": c.mTruncations.Load(),
+		"speculations_launched":  c.mSpecLaunched.Load(),
+		"speculations_won":       c.mSpecWon.Load(),
+		"speculations_lost":      c.mSpecLost.Load(),
+		"speculations_cancelled": c.mSpecCancelled.Load(),
+		"shards_tracked":         tracked,
+		"shard_progress_age_ms":  maxAge,
 	}
 }
 
@@ -573,8 +647,7 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 	})
 	defer stopNotify()
 
-	var solvedOnce sync.Once
-	outcomes := c.dispatch(reqCtx, mode, job, plan, &solvedOnce, hardCancel, shardParams{
+	params := shardParams{
 		engine:      engineSpec,
 		portfolio:   portfolio,
 		exchange:    exchangeSpec,
@@ -582,7 +655,36 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 		boardStream: boardStream,
 		boardJob:    boardJob,
 		deadline:    deadlineMS(ctx),
-	})
+	}
+
+	// Straggler speculation needs the progress feed: stamp the report
+	// endpoints into every shard request and track the shards. Virtual
+	// mode is excluded (its shards are sequential sweeps whose runtimes
+	// are the experiment itself), as are single-shard jobs (no median
+	// to lag behind).
+	speculating := c.speculate && mode == ModeRun && len(plan) >= 2
+	if speculating {
+		base, err := c.boards.ensureServer()
+		if err != nil {
+			return multiwalk.Result{}, err
+		}
+		params.progressBase = base
+		params.progressMS = c.progInterval.Milliseconds()
+		if c.stream {
+			if params.progressStream, err = c.boards.ensureStream(); err != nil {
+				return multiwalk.Result{}, err
+			}
+		}
+		defer c.clearJobProgress(fmt.Sprintf("job%06d-", jobID))
+	}
+
+	var solvedOnce sync.Once
+	var outcomes []shardOutcome
+	if speculating {
+		outcomes = c.dispatchSpeculative(reqCtx, job, plan, &solvedOnce, hardCancel, params, jobID, addPlan)
+	} else {
+		outcomes = c.dispatch(reqCtx, mode, job, plan, &solvedOnce, hardCancel, params)
+	}
 
 	shards := make([]multiwalk.Result, 0, len(plan))
 	var lost []lostRange
@@ -613,23 +715,30 @@ func (c *Coordinator) run(ctx context.Context, mode string, job JobSpec) (multiw
 	// fleet's healthy capacity runs out — only then does the job
 	// truncate.
 	for attempt := 1; len(lost) > 0 && attempt <= c.recoverAttempts && ctx.Err() == nil && !solved; attempt++ {
-		rplan, uncovered := c.planRecovery(mode, lost)
+		rplan, uncovered, rerr := c.planRecovery(mode, lost)
+		if rerr != nil {
+			// Zero healthy free workers: there is nothing to dispatch
+			// and nothing to learn from another round, so stop without
+			// burning the remaining attempts (the attempt-accounting
+			// regression test pins recovery_rounds here).
+			break
+		}
 		if len(rplan) == 0 {
 			break
 		}
+		c.mRecRounds.Add(1)
 		for i := range rplan {
 			rplan[i].runID = fmt.Sprintf("job%06d-r%d-s%d", jobID, attempt, i)
 		}
 		addPlan(rplan)
-		routs := c.dispatch(reqCtx, mode, job, rplan, &solvedOnce, hardCancel, shardParams{
-			engine:      engineSpec,
-			portfolio:   portfolio,
-			exchange:    exchangeSpec,
-			boardURL:    boardURL,
-			boardStream: boardStream,
-			boardJob:    boardJob,
-			deadline:    deadlineMS(ctx),
-		})
+		// Recovery shards re-run a known range on a fresh worker; their
+		// runtimes carry no straggler signal, so they skip the progress
+		// feed — and they see the deadline budget that remains now, not
+		// the one the job started with.
+		rparams := params
+		rparams.progressBase, rparams.progressStream, rparams.progressMS = "", "", 0
+		rparams.deadline = deadlineMS(ctx)
+		routs := c.dispatch(reqCtx, mode, job, rplan, &solvedOnce, hardCancel, rparams)
 		lost = uncovered
 		for i, out := range routs {
 			if out.err != nil {
@@ -686,6 +795,43 @@ type shardParams struct {
 	boardStream string
 	boardJob    string
 	deadline    int64
+	// Progress feed endpoints for straggler speculation; empty when the
+	// job does not speculate. progressBase is the hub's HTTP base URL
+	// (each shard's report route is derived from its run id).
+	progressBase   string
+	progressStream string
+	progressMS     int64
+}
+
+// shardRequest builds one shard's run request from the job, the
+// assignment and the shared per-job parameters — the single place
+// primary, backup and recovery dispatches derive their wire requests
+// from.
+func shardRequest(mode string, job *JobSpec, a *assignment, p *shardParams) RunRequest {
+	req := RunRequest{
+		ID:           a.runID,
+		Mode:         mode,
+		Problem:      job.Problem,
+		Size:         job.Size,
+		Params:       job.Params,
+		Seed:         job.Seed,
+		TotalWalkers: job.Walkers,
+		Start:        a.start,
+		Count:        a.count,
+		Engine:       p.engine,
+		Portfolio:    p.portfolio,
+		DeadlineMS:   p.deadline,
+		Exchange:     p.exchange,
+		Board:        p.boardURL,
+		BoardStream:  p.boardStream,
+		BoardJob:     p.boardJob,
+	}
+	if p.progressBase != "" {
+		req.ProgressURL = p.progressBase + "/v1/runs/" + a.runID + "/progress"
+		req.ProgressStream = p.progressStream
+		req.ProgressMS = p.progressMS
+	}
+	return req
 }
 
 // deadlineMS converts the context's remaining budget to the worker-side
@@ -716,25 +862,7 @@ func (c *Coordinator) dispatch(ctx context.Context, mode string, job JobSpec, pl
 		go func(i int) {
 			defer wg.Done()
 			a := &plan[i]
-			req := RunRequest{
-				ID:           a.runID,
-				Mode:         mode,
-				Problem:      job.Problem,
-				Size:         job.Size,
-				Params:       job.Params,
-				Seed:         job.Seed,
-				TotalWalkers: job.Walkers,
-				Start:        a.start,
-				Count:        a.count,
-				Engine:       p.engine,
-				Portfolio:    p.portfolio,
-				DeadlineMS:   p.deadline,
-				Exchange:     p.exchange,
-				Board:        p.boardURL,
-				BoardStream:  p.boardStream,
-				BoardJob:     p.boardJob,
-			}
-			outcomes[i] = c.runShard(ctx, a, req)
+			outcomes[i] = c.runShard(ctx, a, shardRequest(mode, &job, a, &p))
 			c.releaseOne(a)
 			if mode == ModeRun && outcomes[i].err == nil && !outcomes[i].lost && outcomes[i].res.Solved {
 				// First-solution termination: tell the other workers to
@@ -858,16 +986,34 @@ func (c *Coordinator) plan(mode string, k int) ([]assignment, error) {
 	return plan, nil
 }
 
+// ErrNoRecoveryCapacity reports that shard recovery found zero healthy
+// workers with any free slot: nothing can be dispatched, so the caller
+// should stop retrying immediately instead of burning recovery
+// attempts on empty plans.
+var ErrNoRecoveryCapacity = errors.New("dist: no healthy worker has free capacity for shard recovery")
+
 // planRecovery re-plans lost walker ranges onto healthy workers with
 // free capacity, reserving the slots it takes. Suspect workers are
 // excluded — the failure that made them suspect is usually the one
 // being recovered from. Ranges (or range tails) that find no capacity
 // come back as uncovered; the caller truncates them after the retry
-// budget is spent.
-func (c *Coordinator) planRecovery(mode string, lost []lostRange) (plan []assignment, uncovered []lostRange) {
+// budget is spent. When no healthy worker has even one free slot the
+// whole input comes back uncovered with ErrNoRecoveryCapacity.
+func (c *Coordinator) planRecovery(mode string, lost []lostRange) (plan []assignment, uncovered []lostRange, err error) {
 	r := c.reg
 	r.mu.Lock()
 	defer r.mu.Unlock()
+
+	anyFree := false
+	for _, w := range r.workers {
+		if w.state == stateHealthy && w.slots-w.busy >= 1 {
+			anyFree = true
+			break
+		}
+	}
+	if !anyFree {
+		return nil, lost, ErrNoRecoveryCapacity
+	}
 
 	for _, lr := range lost {
 		switch mode {
@@ -912,7 +1058,7 @@ func (c *Coordinator) planRecovery(mode string, lost []lostRange) (plan []assign
 			}
 		}
 	}
-	return plan, uncovered
+	return plan, uncovered, nil
 }
 
 // releaseOne returns one assignment's slot reservation; idempotent.
@@ -1016,16 +1162,23 @@ func (c *Coordinator) cancelShards(plan []assignment, skip int) {
 		if i == skip {
 			continue
 		}
-		go func(a *assignment) {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.worker.base+"/v1/runs/"+a.runID+"/cancel", nil)
-			if err != nil {
-				return
-			}
-			if resp, err := c.client.Do(req); err == nil {
-				resp.Body.Close()
-			}
-		}(&plan[i])
+		go c.cancelRun(&plan[i])
 	}
+}
+
+// cancelRun delivers one best-effort cancel RPC on its own bounded
+// background context, reporting whether the worker acknowledged it.
+func (c *Coordinator) cancelRun(a *assignment) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.worker.base+"/v1/runs/"+a.runID+"/cancel", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }

@@ -195,9 +195,13 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"known": known})
 }
 
-// handleFleet answers with the fleet table.
+// handleFleet answers with the fleet table plus the tracked in-flight
+// shards (progress and report age — the straggler hunter's view).
 func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"workers": c.reg.snapshot()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers": c.reg.snapshot(),
+		"shards":  c.ProgressSnapshot(),
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -146,6 +146,28 @@ type RunRequest struct {
 	// publishes are tagged with (frames multiplex several jobs over one
 	// worker connection). Required iff BoardStream is set.
 	BoardJob string `json:"board_job,omitempty"`
+	// ProgressURL, when set, asks the worker to report the shard's
+	// progress (iteration counts) periodically so the coordinator's
+	// straggler detector can compare shards. It is the HTTP fallback
+	// endpoint (POST ShardProgressReport); a stream-capable worker
+	// prefers ProgressStream, the coordinator's wire hub address, and
+	// sends TypeShardProgress frames instead. ProgressMS is the report
+	// period in milliseconds (0 selects the worker default, 250ms).
+	// Reports are advisory: losing them only blinds the detector.
+	ProgressURL    string `json:"progress_url,omitempty"`
+	ProgressStream string `json:"progress_stream,omitempty"`
+	ProgressMS     int64  `json:"progress_ms,omitempty"`
+}
+
+// ShardProgressReport is the HTTP JSON fallback body for one shard
+// progress report (POST {ProgressURL}): the run's total iterations so
+// far, how many walkers have started, and the best cost seen (-1 when
+// no walker has completed an iteration yet). The wire-stream path
+// carries the same fields in a TypeShardProgress frame.
+type ShardProgressReport struct {
+	Iters   int64 `json:"iters"`
+	Walkers int64 `json:"walkers"`
+	Best    int64 `json:"best"`
 }
 
 // ExchangeSpec is the wire form of multiwalk.ExchangeOptions plus the
@@ -333,9 +355,12 @@ func wireRunSpec(req *RunRequest) wire.RunSpec {
 			PerturbSwaps: int64(req.Exchange.PerturbSwaps),
 			SyncMS:       req.Exchange.SyncMS,
 		},
-		Board:       req.Board,
-		BoardStream: req.BoardStream,
-		BoardJob:    req.BoardJob,
+		Board:          req.Board,
+		BoardStream:    req.BoardStream,
+		BoardJob:       req.BoardJob,
+		ProgressURL:    req.ProgressURL,
+		ProgressStream: req.ProgressStream,
+		ProgressMS:     req.ProgressMS,
 	}
 	if len(req.Params) > 0 {
 		spec.Params = make(map[string]int64, len(req.Params))
@@ -373,9 +398,12 @@ func runRequestFromWire(spec *wire.RunSpec) RunRequest {
 			PerturbSwaps: int(spec.Exchange.PerturbSwaps),
 			SyncMS:       spec.Exchange.SyncMS,
 		},
-		Board:       spec.Board,
-		BoardStream: spec.BoardStream,
-		BoardJob:    spec.BoardJob,
+		Board:          spec.Board,
+		BoardStream:    spec.BoardStream,
+		BoardJob:       spec.BoardJob,
+		ProgressURL:    spec.ProgressURL,
+		ProgressStream: spec.ProgressStream,
+		ProgressMS:     spec.ProgressMS,
 	}
 	if len(spec.Params) > 0 {
 		req.Params = make(map[string]int, len(spec.Params))
@@ -488,6 +516,15 @@ func (req *RunRequest) Validate() error {
 	}
 	if (req.BoardStream == "") != (req.BoardJob == "") {
 		return fmt.Errorf("%w: board_stream and board_job must be set together", ErrBadRequest)
+	}
+	if len(req.ProgressURL) > maxBoardURL || len(req.ProgressStream) > maxBoardURL {
+		return fmt.Errorf("%w: progress URL or stream address exceeds %d bytes", ErrBadRequest, maxBoardURL)
+	}
+	if req.ProgressMS < 0 {
+		return fmt.Errorf("%w: negative progress_ms", ErrBadRequest)
+	}
+	if req.ProgressURL == "" && req.ProgressStream != "" {
+		return fmt.Errorf("%w: progress_stream requires a progress_url fallback", ErrBadRequest)
 	}
 	if err := req.Engine.validate("engine"); err != nil {
 		return err

@@ -119,6 +119,14 @@ func (h *boardHub) serveStream(c *wire.Conn) {
 			if improved {
 				h.broadcast(m.Job, entry)
 			}
+		case wire.TypeShardProgress:
+			sp, err := wire.DecodeShardProgress(payload)
+			if err != nil {
+				return
+			}
+			if cb := h.onShardProgress; cb != nil {
+				cb(sp.Run, sp.Iters, sp.Walkers, sp.Best)
+			}
 		default:
 			// Unknown frame types are skipped for forward compatibility.
 		}
@@ -198,23 +206,34 @@ func newStreamPool() *streamPool {
 	return &streamPool{conns: make(map[string]*streamSess)}
 }
 
+// sess returns the pool's live session to the hub at addr, dialing a
+// fresh connection if none exists. Shared by the board join path and
+// the shard progress reporter (which needs a session without any board
+// subscription).
+func (p *streamPool) sess(addr string) (*streamSess, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.conns[addr]; s != nil {
+		return s, nil
+	}
+	conn, err := wire.Dial(addr, "worker", streamHandshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &streamSess{pool: p, addr: addr, conn: conn, boards: make(map[string]*remoteBoard), dead: make(chan struct{})}
+	p.conns[addr] = s
+	go s.readLoop()
+	return s, nil
+}
+
 // join attaches a shard run's board cache to the hub at addr,
 // subscribing it to the job's delta flow. The returned session is
 // shared; the caller detaches with remoteBoard.stop -> sess.leave.
 func (p *streamPool) join(addr, job string, b *remoteBoard) (*streamSess, error) {
-	p.mu.Lock()
-	s := p.conns[addr]
-	if s == nil {
-		conn, err := wire.Dial(addr, "worker", streamHandshakeTimeout)
-		if err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-		s = &streamSess{pool: p, addr: addr, conn: conn, boards: make(map[string]*remoteBoard), dead: make(chan struct{})}
-		p.conns[addr] = s
-		go s.readLoop()
+	s, err := p.sess(addr)
+	if err != nil {
+		return nil, err
 	}
-	p.mu.Unlock()
 
 	s.mu.Lock()
 	if s.failed {
@@ -289,6 +308,15 @@ func (s *streamSess) readLoop() {
 // publish pushes one local improvement for job over the stream.
 func (s *streamSess) publish(job string, cost int, cfg []int, gen uint64) error {
 	err := s.conn.WriteBoardSync(&wire.BoardSync{Job: job, Valid: true, Cost: int64(cost), Gen: gen, Cfg: cfg})
+	if err != nil {
+		s.fail()
+	}
+	return err
+}
+
+// reportProgress pushes one shard progress frame over the stream.
+func (s *streamSess) reportProgress(run string, iters, walkers, best int64) error {
+	err := s.conn.WriteShardProgress(&wire.ShardProgress{Run: run, Iters: iters, Walkers: walkers, Best: best})
 	if err != nil {
 		s.fail()
 	}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -298,8 +299,13 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 	for _, p := range req.Portfolio {
 		opts.Portfolio = append(opts.Portfolio, multiwalk.PortfolioEntry{Weight: p.Weight, Engine: p.Engine.Options()})
 	}
-	if wk.telem != nil {
-		rt := &runTelem{start: req.Start, cells: make([]atomic.Int64, 2*req.Count)}
+	// One set of per-walker (iteration, cost) cells feeds both consumers
+	// that want live counters: the FTDC sampler and the coordinator's
+	// straggler detector. The Progress hook costs nothing when neither
+	// is on.
+	var rt *runTelem
+	if wk.telem != nil || req.ProgressURL != "" {
+		rt = &runTelem{start: req.Start, cells: make([]atomic.Int64, 2*req.Count)}
 		opts.Progress = func(walker int, iter int64, cost int) {
 			i := walker - rt.start
 			if i < 0 || 2*i >= len(rt.cells) {
@@ -308,6 +314,8 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 			rt.cells[2*i].Store(iter)
 			rt.cells[2*i+1].Store(int64(cost))
 		}
+	}
+	if wk.telem != nil {
 		wk.mu.Lock()
 		wk.telemRuns[req.ID] = rt
 		wk.mu.Unlock()
@@ -315,6 +323,19 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 			wk.mu.Lock()
 			delete(wk.telemRuns, req.ID)
 			wk.mu.Unlock()
+		}()
+	}
+	if req.ProgressURL != "" {
+		repCtx, repCancel := context.WithCancel(runCtx)
+		var repWG sync.WaitGroup
+		repWG.Add(1)
+		go wk.reportProgress(repCtx, &repWG, &req, rt)
+		defer func() {
+			// Stop the reporter before answering: a report racing past
+			// the shard's own response would feed the detector stale
+			// numbers for a run it already resolved.
+			repCancel()
+			repWG.Wait()
 		}()
 	}
 
@@ -364,6 +385,89 @@ func (wk *Worker) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	wk.mRuns.Add(1)
 	writeJSON(w, http.StatusOK, wireResult(res))
+}
+
+// defaultProgressPeriod is the shard progress report cadence when the
+// request does not pin one (RunRequest.ProgressMS). 250ms resolves
+// stragglers an order of magnitude faster than typical shard runtimes
+// while costing a few dozen bytes per tick.
+const defaultProgressPeriod = 250 * time.Millisecond
+
+// snapshot folds the run's per-walker cells into one progress report:
+// total iterations, walkers that have iterated at least once, and the
+// best (lowest) cost among them, or -1 before any walker reports.
+func (rt *runTelem) snapshot() ShardProgressReport {
+	rep := ShardProgressReport{Best: -1}
+	for i := 0; i < len(rt.cells)/2; i++ {
+		iter := rt.cells[2*i].Load()
+		if iter <= 0 {
+			continue
+		}
+		rep.Iters += iter
+		rep.Walkers++
+		if cost := rt.cells[2*i+1].Load(); rep.Best < 0 || cost < rep.Best {
+			rep.Best = cost
+		}
+	}
+	return rep
+}
+
+// reportProgress is the straggler detector's feed: a periodic loop
+// pushing the run's progress snapshot to the coordinator, over the
+// persistent wire stream when one is negotiated (ProgressStream) and
+// the HTTP fallback endpoint otherwise. Reports are advisory —
+// failures are dropped, never retried, and never slow the run; losing
+// the feed only makes this shard look like a straggler, which costs
+// the fleet one redundant backup run at worst.
+func (wk *Worker) reportProgress(ctx context.Context, wg *sync.WaitGroup, req *RunRequest, rt *runTelem) {
+	defer wg.Done()
+	period := time.Duration(req.ProgressMS) * time.Millisecond
+	if period <= 0 {
+		period = defaultProgressPeriod
+	}
+	var sess *streamSess
+	if wk.streams != nil && req.ProgressStream != "" {
+		if s, err := wk.streams.sess(req.ProgressStream); err == nil {
+			sess = s
+		}
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		rep := rt.snapshot()
+		if sess != nil && sess.alive() {
+			if sess.reportProgress(req.ID, rep.Iters, rep.Walkers, rep.Best) == nil {
+				continue
+			}
+			sess = nil // stream died: fall back to HTTP for the rest
+		}
+		wk.postProgress(ctx, req.ProgressURL, &rep)
+	}
+}
+
+// postProgress sends one report over the HTTP fallback route.
+func (wk *Worker) postProgress(ctx context.Context, url string, rep *ShardProgressReport) {
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		return
+	}
+	reqCtx, cancel := context.WithTimeout(ctx, boardSyncTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(reqCtx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := wk.boardClient.Do(hreq)
+	if err != nil {
+		return
+	}
+	_ = resp.Body.Close()
 }
 
 // handleCancel cancels an in-flight run. Cancelling an unknown (or

@@ -181,6 +181,13 @@ func (c *Conn) WriteProgress(p *Progress) error {
 	})
 }
 
+// WriteShardProgress sends a ShardProgress frame.
+func (c *Conn) WriteShardProgress(p *ShardProgress) error {
+	return c.writeFrame(func(e *Encoder, dst []byte) ([]byte, error) {
+		return e.ShardProgressFrame(dst, p)
+	})
+}
+
 // WriteRunSpec sends a RunSpec frame.
 func (c *Conn) WriteRunSpec(r *RunSpec) error {
 	return c.writeFrame(func(e *Encoder, dst []byte) ([]byte, error) {

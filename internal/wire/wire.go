@@ -76,6 +76,9 @@ const (
 	// TypeHeartbeat carries one fleet liveness refresh (worker →
 	// coordinator).
 	TypeHeartbeat byte = 0x07
+	// TypeShardProgress carries one in-flight shard's progress report
+	// (worker → coordinator), feeding the straggler detector.
+	TypeShardProgress byte = 0x08
 )
 
 // Structural caps applied at decode time, before any allocation.
@@ -180,6 +183,14 @@ type RunSpec struct {
 	// finite-domain benchmarks' knobs). Encoded sorted by key so equal
 	// specs produce identical bytes.
 	Params map[string]int64
+	// ProgressURL/ProgressStream/ProgressMS negotiate per-shard progress
+	// reporting (the straggler detector's feed): the HTTP fallback
+	// endpoint, the coordinator's stream hub address, and the report
+	// period in milliseconds. All empty/zero when the coordinator does
+	// not speculate.
+	ProgressURL    string
+	ProgressStream string
+	ProgressMS     int64
 }
 
 // EngineSpec is the binary form of the dist engine spec.
@@ -222,6 +233,19 @@ type Register struct {
 	Slots  int64
 	Wire   bool
 	Stream bool
+}
+
+// ShardProgress is one in-flight shard run's progress report: the
+// cumulative iteration count across the shard's walkers, sampled
+// periodically by the worker and fed to the coordinator's straggler
+// detector. Best is the lowest current cost across walkers that have
+// reported at least one iteration, or -1 when none have — the
+// unknown-cost sentinel never crosses the wire.
+type ShardProgress struct {
+	Run     string
+	Iters   int64
+	Walkers int64
+	Best    int64
 }
 
 // Heartbeat refreshes a registered worker's liveness and capability.
@@ -657,7 +681,9 @@ func AppendRunSpec(dst []byte, r *RunSpec) []byte {
 		dst = appendString(dst, k)
 		dst = binary.AppendVarint(dst, r.Params[k])
 	}
-	return dst
+	dst = appendString(dst, r.ProgressURL)
+	dst = appendString(dst, r.ProgressStream)
+	return binary.AppendVarint(dst, r.ProgressMS)
 }
 
 // DecodeRunSpec parses a RunSpec payload.
@@ -708,6 +734,9 @@ func DecodeRunSpec(p []byte) (RunSpec, error) {
 			r.Params[k] = d.varint()
 		}
 	}
+	r.ProgressURL = d.string()
+	r.ProgressStream = d.string()
+	r.ProgressMS = d.varint()
 	return r, d.finish()
 }
 
@@ -729,6 +758,26 @@ func DecodeRegister(p []byte) (Register, error) {
 		Stream: d.bool(),
 	}
 	return r, d.finish()
+}
+
+// AppendShardProgress appends a ShardProgress payload.
+func AppendShardProgress(dst []byte, p *ShardProgress) []byte {
+	dst = appendString(dst, p.Run)
+	dst = binary.AppendVarint(dst, p.Iters)
+	dst = binary.AppendVarint(dst, p.Walkers)
+	return binary.AppendVarint(dst, p.Best)
+}
+
+// DecodeShardProgress parses a ShardProgress payload.
+func DecodeShardProgress(p []byte) (ShardProgress, error) {
+	d := decoder{buf: p}
+	sp := ShardProgress{
+		Run:     d.string(),
+		Iters:   d.varint(),
+		Walkers: d.varint(),
+		Best:    d.varint(),
+	}
+	return sp, d.finish()
 }
 
 // AppendHeartbeat appends a Heartbeat payload.
@@ -812,6 +861,12 @@ func (e *Encoder) RegisterFrame(dst []byte, r *Register) ([]byte, error) {
 func (e *Encoder) HeartbeatFrame(dst []byte, h *Heartbeat) ([]byte, error) {
 	e.scratch = AppendHeartbeat(e.scratch[:0], h)
 	return e.frame(dst, TypeHeartbeat)
+}
+
+// ShardProgressFrame appends a framed ShardProgress to dst.
+func (e *Encoder) ShardProgressFrame(dst []byte, p *ShardProgress) ([]byte, error) {
+	e.scratch = AppendShardProgress(e.scratch[:0], p)
+	return e.frame(dst, TypeShardProgress)
 }
 
 // DecodeFrame splits one frame off data, returning its type, payload

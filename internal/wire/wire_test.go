@@ -86,11 +86,14 @@ func TestRunSpecRoundTrip(t *testing.T) {
 			{Weight: 1, Engine: EngineSpec{Strategy: "adaptive"}},
 			{Weight: 2, Engine: EngineSpec{Strategy: "random-walk", Exhaustive: true}},
 		},
-		DeadlineMS:  5000,
-		Exchange:    ExchangeSpec{Enabled: true, Period: 64, AdoptFactor: 1.0, PerturbSwaps: 2, SyncMS: 2},
-		Board:       "http://127.0.0.1:1234/v1/runs/job000009/board",
-		BoardStream: "127.0.0.1:5678",
-		BoardJob:    "job000009",
+		DeadlineMS:     5000,
+		Exchange:       ExchangeSpec{Enabled: true, Period: 64, AdoptFactor: 1.0, PerturbSwaps: 2, SyncMS: 2},
+		Board:          "http://127.0.0.1:1234/v1/runs/job000009/board",
+		BoardStream:    "127.0.0.1:5678",
+		BoardJob:       "job000009",
+		ProgressURL:    "http://127.0.0.1:1234/v1/runs/job000009-s1/progress",
+		ProgressStream: "127.0.0.1:5678",
+		ProgressMS:     250,
 	}
 	buf := frameOf(t, func(e *Encoder, dst []byte) ([]byte, error) { return e.RunSpecFrame(dst, &in) })
 	typ, payload, _, err := DecodeFrame(buf)
@@ -103,6 +106,28 @@ func TestRunSpecRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(in, out) {
 		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestShardProgressRoundTrip(t *testing.T) {
+	cases := []ShardProgress{
+		{Run: "job000001-s0", Best: -1},
+		{Run: "job000001-s1", Iters: 123456, Walkers: 3, Best: 42},
+		{Run: "job000002-b1-s0", Iters: 1 << 40, Walkers: 8, Best: 0},
+	}
+	for _, in := range cases {
+		buf := frameOf(t, func(e *Encoder, dst []byte) ([]byte, error) { return e.ShardProgressFrame(dst, &in) })
+		typ, payload, rest, err := DecodeFrame(buf)
+		if err != nil || typ != TypeShardProgress || len(rest) != 0 {
+			t.Fatalf("DecodeFrame: typ=%#x rest=%d err=%v", typ, len(rest), err)
+		}
+		out, err := DecodeShardProgress(payload)
+		if err != nil {
+			t.Fatalf("DecodeShardProgress(%+v): %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
 	}
 }
 
