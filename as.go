@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 
+	"repro/internal/calibrate"
 	"repro/internal/core"
 	"repro/internal/csp"
 	"repro/internal/dist"
@@ -204,12 +205,38 @@ type JobState = service.State
 // ServiceStats is the metrics snapshot a SolveService exposes.
 type ServiceStats = service.Stats
 
+// SolveAutoSizeSpec asks admission to choose a request's walker count
+// from calibrated runtime distributions instead of a fixed Walkers
+// value: set SolveRequest.AutoSize and give the service a
+// CalibrationStore (ServiceConfig.Calibration). See DESIGN.md §15.
+type SolveAutoSizeSpec = service.AutoSizeSpec
+
+// CalibrationStore holds per-(problem, size, params, strategy) runtime
+// observations: seeded from bench runs, kept fresh by solved jobs, and
+// resolved into fitted runtime models for speedup prediction and
+// auto-sizing.
+type CalibrationStore = calibrate.Store
+
+// NewCalibrationStore returns an empty calibration store.
+func NewCalibrationStore() *CalibrationStore { return calibrate.NewStore() }
+
+// LoadCalibration loads a calibration store saved with its Save
+// method; a missing file yields an empty store.
+func LoadCalibration(path string) (*CalibrationStore, error) { return calibrate.Load(path) }
+
 // Typed service errors, for embedders of SolveService.
 var (
 	ErrQueueFull  = service.ErrQueueFull
 	ErrBadRequest = service.ErrBadRequest
 	ErrJobUnknown = service.ErrNotFound
 	ErrClosed     = service.ErrClosed
+	// ErrNoCalibration rejects an auto-sized request whose population has
+	// no (or too little) calibration data (HTTP 409).
+	ErrNoCalibration = service.ErrNoCalibration
+	// ErrTargetUnsatisfiable rejects an auto-sized request whose latency
+	// target is below the predicted P95 at every admissible walker count
+	// (HTTP 422).
+	ErrTargetUnsatisfiable = service.ErrUnsatisfiable
 )
 
 // ErrBadParams marks a benchmark construction request with unknown or

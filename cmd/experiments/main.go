@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 )
 
 func main() {
@@ -52,6 +53,15 @@ func run() error {
 		benchStraggle = flag.Duration("bench-straggle", 1200*time.Millisecond, "injected shard-dispatch delay on the straggler worker in -bench-tail mode")
 
 		ftdcDecode = flag.String("ftdc-decode", "", "decode an FTDC-style telemetry file (cmd/serve -telemetry, cmd/worker -telemetry) to CSV on stdout (skips the experiment suite)")
+
+		calibrateStore    = flag.String("calibrate", "", "seed (or append to) a runtime-calibration store at this path from sequential bench runs of -calibrate-problems (skips the experiment suite)")
+		calibrateProblems = flag.String("calibrate-problems", "costas,magic-square,all-interval", "comma-separated paper workloads for the -calibrate and -bench-predict modes")
+		predictStore      = flag.String("predict", "", "print predicted speedup curves with bootstrap bands for every population in this calibration store (skips the experiment suite)")
+		whatifStore       = flag.String("whatif", "", "simulate every population in this calibration store on the -platform model and print predicted vs simulated speedups (skips the experiment suite)")
+		platformName      = flag.String("platform", "local", "platform model for -whatif: "+strings.Join(cluster.PlatformNames(), "|"))
+
+		benchPredict     = flag.String("bench-predict", "", "measure predicted-vs-actual multi-walk speedup and write the accuracy report to this JSON file (skips the experiment suite)")
+		benchPredictReps = flag.Int("bench-predict-reps", 40, "multi-walk jobs measured per (benchmark, walker count) in -bench-predict mode")
 	)
 	flag.Parse()
 
@@ -71,6 +81,18 @@ func run() error {
 	}
 	if *benchTail != "" {
 		return runBenchTail(ctx, *benchTail, *seed, *benchTailReps, *benchStraggle)
+	}
+	if *calibrateStore != "" {
+		return runCalibrate(ctx, *calibrateStore, *calibrateProblems, scale, *seed)
+	}
+	if *predictStore != "" {
+		return runPredict(*predictStore, *seed)
+	}
+	if *whatifStore != "" {
+		return runWhatIf(*whatifStore, *platformName, *seed)
+	}
+	if *benchPredict != "" {
+		return runBenchPredict(ctx, *benchPredict, *calibrateProblems, scale, *benchPredictReps, *seed)
 	}
 
 	want := map[string]bool{}

@@ -65,6 +65,15 @@
 // the periodic POST loop. HTTP stays as the fallback transport either
 // way (see DESIGN.md §11).
 //
+// With -calibration FILE, the server loads a runtime-calibration store
+// (seed it offline with `experiments -calibrate FILE`), enabling
+// requests that say {"autosize": {"target_p95": "500ms"}} instead of a
+// fixed walker count: admission fits the problem's calibrated runtime
+// distribution and picks the smallest walker count predicted to meet
+// the target — or the marginal-speedup knee when no target is given.
+// Solved jobs feed their iteration counts back into the store, which
+// is saved on shutdown (see DESIGN.md §15).
+//
 // With -telemetry FILE, a background sampler appends FTDC-style
 // schema-delta-encoded scheduler metrics (and, under -workers, board
 // traffic counters) to FILE every -telemetry-interval; decode offline
@@ -91,6 +100,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/calibrate"
 	"repro/internal/dist"
 	"repro/internal/service"
 	"repro/internal/telemetry"
@@ -127,6 +137,7 @@ func run() error {
 		speculateThr   = flag.Float64("speculate-threshold", 0, "straggler threshold: a shard speculates when its per-walker progress x threshold < the job median (0 = 2, must be > 1)")
 		telemetryPath  = flag.String("telemetry", "", "append FTDC-style telemetry frames to this file (empty = off)")
 		telemetryEvery = flag.Duration("telemetry-interval", time.Second, "telemetry sampling period")
+		calibration    = flag.String("calibration", "", "runtime-calibration store path: loaded at startup (missing file = empty store), fed by solved jobs, saved on shutdown; enables {\"autosize\": ...} requests (seed offline with `experiments -calibrate`)")
 	)
 	flag.Parse()
 
@@ -172,6 +183,15 @@ func run() error {
 		backend = coord
 	}
 
+	var calStore *calibrate.Store
+	if *calibration != "" {
+		calStore, err = calibrate.Load(*calibration)
+		if err != nil {
+			return err
+		}
+		log.Printf("serve: calibration store %s loaded (%d keys); auto-sizing enabled", *calibration, len(calStore.Keys()))
+	}
+
 	sched := service.New(service.Config{
 		Slots:          *slots,
 		QueueDepth:     *queueDepth,
@@ -180,6 +200,7 @@ func run() error {
 		ResultTTL:      *ttl,
 		Backend:        backend,
 		Tenants:        tenantPolicies,
+		Calibration:    calStore,
 	})
 	expvar.Publish("scheduler", expvar.Func(func() any { return sched.Stats() }))
 
@@ -226,6 +247,19 @@ func run() error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// saveCalibration persists what live jobs taught the store; called
+	// after the scheduler drains so the last solves are included.
+	saveCalibration := func() {
+		if calStore == nil {
+			return
+		}
+		if err := calStore.Save(*calibration); err != nil {
+			log.Printf("serve: saving calibration store: %v", err)
+			return
+		}
+		log.Printf("serve: calibration store saved to %s (%d keys)", *calibration, len(calStore.Keys()))
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		cfg := sched.Config()
@@ -239,6 +273,7 @@ func run() error {
 	select {
 	case err := <-errc:
 		sched.Close()
+		saveCalibration()
 		return err
 	case sig := <-stop:
 		log.Printf("serve: %v — shutting down", sig)
@@ -250,6 +285,7 @@ func run() error {
 		log.Printf("serve: listener shutdown: %v", err)
 	}
 	sched.Close()
+	saveCalibration()
 	log.Printf("serve: drained cleanly")
 	return nil
 }

@@ -9,6 +9,7 @@
 //	loadgen -inprocess -dist-workers 3 -jobs 200            # in-process distributed fleet
 //	loadgen -inprocess -dist-workers 3 -exchange -jobs 100  # dependent runs across the fleet
 //	loadgen -addr http://localhost:8080 -jobs 1000          # against cmd/serve
+//	loadgen -addr http://localhost:8080 -autosize costas:10 # predictor-sized jobs (serve -calibration)
 //
 // -dist-workers n stands up n in-process dist workers plus a
 // coordinator backend behind the scheduler — the full distributed
@@ -104,6 +105,7 @@ func run() error {
 		exchange    = flag.Bool("exchange", false, "run multi-walker scenarios in dependent (exchange) mode — on a dist backend, walkers cooperate across worker processes")
 		tenantsMix  = flag.String("tenants", "", "attribute jobs to tenants by weight, name=weight,... (e.g. batch=3,interactive=1); empty submits without tenant attribution")
 		stream      = flag.Bool("stream", false, "await async jobs over the persistent binary progress stream instead of GET polling (with -inprocess, also stands the stream listener up; against -addr, discovered via /healthz stream_addr)")
+		autosize    = flag.String("autosize", "", "replace the mixed workload with auto-sized jobs of this problem spec (\"problem\" or \"problem:size\"): requests carry {\"autosize\": {}} instead of a walker count, the server must hold calibration for the problem (serve -calibration), and every returned job must echo a predictor-chosen walker count >= 1")
 	)
 	flag.Parse()
 
@@ -177,6 +179,13 @@ func run() error {
 		fmt.Printf("progress stream connected: %s\n", streamAddr)
 	}
 	mix := scenarios(*timeoutMS, *exchange)
+	if *autosize != "" {
+		sc, err := autosizeScenario(*autosize, *timeoutMS)
+		if err != nil {
+			return err
+		}
+		mix = []scenario{sc}
+	}
 	for _, sc := range mix {
 		w, ok := sc.req["walkers"].(int)
 		if !ok {
@@ -209,15 +218,16 @@ func run() error {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		outcomes  = map[service.State]int{}
-		perScen   = map[string]int{}
-		perTenant = map[string]int{}
-		retries   atomic.Int64
-		dropped   atomic.Int64
-		failures  atomic.Int64
-		transport transportMix
+		mu         sync.Mutex
+		latencies  []time.Duration
+		outcomes   = map[service.State]int{}
+		perScen    = map[string]int{}
+		perTenant  = map[string]int{}
+		perWalkers = map[int]int{}
+		retries    atomic.Int64
+		dropped    atomic.Int64
+		failures   atomic.Int64
+		transport  transportMix
 	)
 
 	start := time.Now()
@@ -243,10 +253,19 @@ func run() error {
 					fmt.Fprintf(os.Stderr, "job %d (%s) failed: %s\n", i, sc.name, job.Error)
 					failures.Add(1)
 				}
+				if *autosize != "" && job.Request.Walkers < 1 {
+					// The request carried no walker count, so a sane echo
+					// proves the predictor actually sized the job.
+					fmt.Fprintf(os.Stderr, "job %d (%s): autosized job echoes walkers=%d\n", i, sc.name, job.Request.Walkers)
+					failures.Add(1)
+				}
 				mu.Lock()
 				latencies = append(latencies, lat)
 				outcomes[job.State]++
 				perScen[sc.name]++
+				if *autosize != "" {
+					perWalkers[job.Request.Walkers]++
+				}
 				if tenantOf[i] != "" {
 					perTenant[tenantOf[i]]++
 				}
@@ -267,7 +286,7 @@ func run() error {
 		resp.Body.Close()
 	}
 
-	report(*jobs, elapsed, latencies, outcomes, perScen, perTenant, stats, retries.Load(), &transport)
+	report(*jobs, elapsed, latencies, outcomes, perScen, perTenant, perWalkers, stats, retries.Load(), &transport)
 
 	if d := dropped.Load(); d > 0 {
 		return fmt.Errorf("%d of %d jobs dropped", d, *jobs)
@@ -565,7 +584,29 @@ func parseTenantMix(spec string) (func(*rand.Rand) string, error) {
 	}, nil
 }
 
-func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[service.State]int, perScen, perTenant map[string]int, stats service.Stats, retries int64, mix *transportMix) {
+// autosizeScenario builds the single-scenario auto-sizing workload
+// from a "problem" or "problem:size" spec: jobs carry {"autosize": {}}
+// (knee mode — no latency target) and no walker count, so the server's
+// predictor must size every one of them.
+func autosizeScenario(spec string, timeoutMS int64) (scenario, error) {
+	problem, sizeStr, sized := strings.Cut(spec, ":")
+	if problem == "" {
+		return scenario{}, fmt.Errorf("-autosize: empty problem in %q", spec)
+	}
+	req := map[string]any{"problem": problem, "autosize": map[string]any{}, "timeout_ms": timeoutMS}
+	name := "autosize-" + problem
+	if sized {
+		size, err := strconv.Atoi(sizeStr)
+		if err != nil || size < 1 {
+			return scenario{}, fmt.Errorf("-autosize: size %q is not a positive integer", sizeStr)
+		}
+		req["size"] = size
+		name += "-" + sizeStr
+	}
+	return scenario{name, req}, nil
+}
+
+func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[service.State]int, perScen, perTenant map[string]int, perWalkers map[int]int, stats service.Stats, retries int64, mix *transportMix) {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(p float64) time.Duration {
 		if len(lats) == 0 {
@@ -609,9 +650,21 @@ func report(jobs int, elapsed time.Duration, lats []time.Duration, outcomes map[
 		}
 		fmt.Println(line)
 	}
+	ks := make([]int, 0, len(perWalkers))
+	for k := range perWalkers {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fmt.Printf("autosized walkers=%d        %d jobs\n", k, perWalkers[k])
+	}
 	if stats.JobsSubmitted > 0 {
 		fmt.Printf("server: %d iterations total (%.0f iters/s), peak pool %d slots\n",
 			stats.Iterations, stats.IterationsPerSec, stats.Slots)
+	}
+	if stats.AutoSized > 0 || stats.AutoRejected > 0 {
+		fmt.Printf("server: %d autosize predictions, %d autosize rejections\n",
+			stats.AutoSized, stats.AutoRejected)
 	}
 	if n := stats.Fleet["speculations_launched"]; n > 0 {
 		fmt.Printf("speculation: %d launched, %d won, %d lost, %d cancelled\n",

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/calibrate"
+)
+
+// SeedCalibration collects a workload's sequential runtime
+// distribution and records it into the calibration store as one bench
+// batch — the cold-start path for the service's AutoSize mode and the
+// capacity-planning CLI: run it once per workload, persist the store,
+// and live job telemetry keeps it fresh from there. Returns the
+// collected distribution so callers can report or reuse it.
+func SeedCalibration(ctx context.Context, st *calibrate.Store, w Workload, seed uint64) (*Distribution, error) {
+	d, err := Collect(ctx, w, seed)
+	if err != nil {
+		return nil, err
+	}
+	xs, _ := d.Iters.ECDF()
+	key := calibrate.Key{Problem: w.Benchmark, Size: w.Size}
+	err = st.Record(key, calibrate.Batch{
+		Source:      "bench",
+		RecordedAt:  time.Now(),
+		Sequential:  true,
+		Walkers:     1,
+		Iters:       xs,
+		ItersPerSec: d.ItersPerSecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,47 @@
+package calibrate
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeCalibration hammers the calibration-store decoder with
+// arbitrary bytes, mirroring the service's FuzzDecodeRequest contract:
+// no panics, every rejection wraps the typed ErrBadStore, and anything
+// that decodes must re-encode and decode again cleanly (the store a
+// warmed restart reads back is as valid as the one it saved).
+func FuzzDecodeCalibration(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"schema_version":1,"entries":[]}`))
+	f.Add([]byte(`{"schema_version":1,"entries":[{"key":{"problem":"costas","size":18,"strategy":"adaptive"},"batches":[{"source":"bench","recorded_at":"2026-08-01T00:00:00Z","sequential":true,"walkers":1,"iters":[100,220,85],"iters_per_sec":250000}]}]}`))
+	f.Add([]byte(`{"schema_version":2,"entries":[]}`))
+	f.Add([]byte(`{"schema_version":1,"entries":[{"key":{"problem":"x","size":1},"batches":[{"walkers":-1,"iters":[1]}]}]}`))
+	f.Add([]byte(`{"schema_version":1,"entries":[{"key":{"problem":"x","size":1},"batches":[{"walkers":1,"iters":[-5]}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadStore) {
+				t.Fatalf("decode error %v does not wrap ErrBadStore", err)
+			}
+			return
+		}
+		out, err := st.Encode()
+		if err != nil {
+			t.Fatalf("accepted store failed to encode: %v", err)
+		}
+		rt, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode of encoded store failed: %v", err)
+		}
+		out2, err := rt.Encode()
+		if err != nil {
+			t.Fatalf("round-tripped store failed to encode: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("encode/decode round trip is not a fixed point")
+		}
+	})
+}

@@ -24,9 +24,10 @@ import (
 //	GET  /metrics               expvar-style counters (Stats)
 //
 // Error responses are {"error": "..."} with ErrQueueFull mapped to 429,
-// ErrBadRequest to 400, ErrNotFound to 404, ErrClosed to 503 and a
-// domain-reduction unsatisfiability proof (domain.ErrUnsatisfiable) to
-// 422.
+// ErrBadRequest to 400, ErrNotFound to 404, ErrClosed to 503,
+// ErrNoCalibration to 409, and both unsatisfiability proofs — a
+// domain-reduction one (domain.ErrUnsatisfiable) and an auto-size
+// target no walker count can meet (ErrUnsatisfiable) — to 422.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
@@ -159,10 +160,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, domain.ErrUnsatisfiable):
-		// The model is well-formed but provably has no solution: the
-		// request was understood, the entity cannot be processed.
+	case errors.Is(err, domain.ErrUnsatisfiable), errors.Is(err, ErrUnsatisfiable):
+		// The model is well-formed but provably has no solution — or the
+		// auto-size target is provably unreachable at any walker count:
+		// the request was understood, the entity cannot be processed.
 		code = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrNoCalibration):
+		// The request is fine but the server lacks the calibration state
+		// to honor it; retry after calibrating (409, not 400 — nothing
+		// about the request itself is wrong).
+		code = http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrBadRequest):

@@ -84,6 +84,11 @@ type Request struct {
 	// pool slots the job occupies while running. 0 selects 1; values
 	// above the pool size are rejected.
 	Walkers int `json:"walkers,omitempty"`
+	// AutoSize, when non-nil, asks admission to choose Walkers from the
+	// calibrated runtime distribution instead (see AutoSizeSpec). It is
+	// mutually exclusive with an explicit Walkers value; the chosen
+	// count is written into Walkers and echoed in job snapshots.
+	AutoSize *AutoSizeSpec `json:"autosize,omitempty"`
 	// Seed seeds the multi-walk master stream. 0 lets the scheduler
 	// pick a per-job seed.
 	Seed uint64 `json:"seed,omitempty"`
@@ -269,6 +274,11 @@ func (s *Scheduler) normalizeRequest(req *Request) (problems.Factory, multiwalk.
 			return nil, zero, fmt.Errorf("%w: %v", ErrBadParams, err)
 		}
 		return nil, zero, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.AutoSize != nil {
+		if err := s.autoSize(req); err != nil {
+			return nil, zero, err
+		}
 	}
 	if req.Walkers == 0 {
 		req.Walkers = 1

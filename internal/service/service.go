@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/calibrate"
 	"repro/internal/multiwalk"
 	"repro/internal/problems"
 )
@@ -55,6 +56,13 @@ type Config struct {
 	// name carried on Request.Tenant. Tenants absent from the map (and
 	// the implicit "default" tenant) get weight 1 and no quota.
 	Tenants map[string]TenantPolicy
+	// Calibration, when non-nil, enables the AutoSize admission mode
+	// (see autosize.go) and the live calibration feed: solved jobs are
+	// recorded back into the store, so serving traffic keeps the
+	// runtime-distribution models fresh. nil disables both — AutoSize
+	// requests then fail with ErrNoCalibration. The store is shared,
+	// not owned: the serving binary persists it across restarts.
+	Calibration *calibrate.Store
 }
 
 // TenantPolicy shapes one tenant's share of the walker-slot pool.
@@ -205,6 +213,10 @@ type Scheduler struct {
 	mIterations atomic.Int64
 	mAdoptions  atomic.Int64
 	mYielded    atomic.Int64
+	// Auto-size outcomes: predictions that chose a walker count, and
+	// typed rejections (no calibration / unsatisfiable target).
+	mAutoSized    atomic.Int64
+	mAutoRejected atomic.Int64
 
 	// streamAddr is the advertised job-progress stream endpoint (set by
 	// the serving binary when a StreamServer is attached); "" when the
@@ -728,6 +740,14 @@ func (s *Scheduler) finalize(j *job, state State, res *multiwalk.Result, err err
 				s.mYielded.Add(1)
 			}
 		}
+		if state == StateSolved {
+			s.recordOutcome(j, &jobOutcome{
+				solved:           res.Solved,
+				winnerIterations: res.WinnerIterations,
+				totalIterations:  res.TotalIterations,
+				elapsed:          res.Elapsed,
+			})
+		}
 	}
 	close(j.done)
 	j.finishWatchers(j.snapshot())
@@ -844,7 +864,14 @@ type Stats struct {
 	// elsewhere. Both stay 0 on a fleet running only independent jobs.
 	Adoptions int64 `json:"adoptions_total"`
 	Yielded   int64 `json:"yielded_total"`
-	UptimeMS  int64 `json:"uptime_ms"`
+	// AutoSized counts AutoSize requests admission resolved to a
+	// predictor-chosen walker count; AutoRejected counts typed
+	// auto-size rejections (no calibration, unsatisfiable target). Both
+	// are always present — 0 on a server that never saw an AutoSize
+	// request — so dashboards can rely on the keys existing.
+	AutoSized    int64 `json:"autosize_predictions"`
+	AutoRejected int64 `json:"autosize_rejections"`
+	UptimeMS     int64 `json:"uptime_ms"`
 	// Tenants is the per-tenant admission ledger (populated once a
 	// tenant has submitted at least one job).
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
@@ -907,6 +934,8 @@ func (s *Scheduler) Stats() Stats {
 		Iterations:    iters,
 		Adoptions:     s.mAdoptions.Load(),
 		Yielded:       s.mYielded.Load(),
+		AutoSized:     s.mAutoSized.Load(),
+		AutoRejected:  s.mAutoRejected.Load(),
 		UptimeMS:      up.Milliseconds(),
 		Tenants:       tenants,
 	}

@@ -1,0 +1,355 @@
+package stats
+
+// This file is the parametric side of the speedup predictor: the
+// lognormal runtime model beside the shifted exponential, a
+// goodness-of-fit selector between the two, and the expected-speedup
+// and latency-quantile machinery the adaptive-parallelism stack
+// (internal/calibrate, the service's AutoSize admission mode) builds
+// on. Arbelaez/Truchet/Codognet (arXiv 2403.08790) showed that local
+// search runtime distributions are well captured by exactly these two
+// families and that fitting one sequential sample predicts multi-walk
+// speedup at any walker count before the cores are spent; the
+// shifted-exp case is the paper's own two-regime analysis in closed
+// form, the lognormal covers the heavy-tailed benchmarks.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// normQuantile is the standard normal quantile function Phi^-1.
+func normQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// normCDF is the standard normal CDF Phi.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// CDF returns the shifted-exponential distribution function.
+func (m ShiftedExp) CDF(x float64) float64 {
+	if x <= m.Shift {
+		return 0
+	}
+	if m.Scale == 0 {
+		return 1
+	}
+	return 1 - math.Exp(-(x-m.Shift)/m.Scale)
+}
+
+// Quantile returns the shifted-exponential quantile function:
+// Shift - Scale*ln(1-p) for p in [0,1).
+func (m ShiftedExp) Quantile(p float64) float64 {
+	if p <= 0 {
+		return m.Shift
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return m.Shift - m.Scale*math.Log(1-p)
+}
+
+// LogNormal is the heavy-tailed runtime model T = exp(Mu + Sigma*Z),
+// Z standard normal. Unlike the shifted exponential its multi-walk
+// speedup never saturates at a finite limit — E[min_k] tends to zero —
+// but it approaches that limit slowly (sub-linearly in k), which is
+// the intermediate regime between the paper's ideal-Costas and
+// hard-floor extremes.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// FitLogNormal fits by maximum likelihood: Mu and Sigma are the mean
+// and (population) standard deviation of the log-observations.
+// Non-positive observations are rejected — a runtime of zero
+// iterations has no lognormal likelihood.
+func FitLogNormal(s *Sample) (LogNormal, error) {
+	n := float64(s.N())
+	var sum float64
+	for _, x := range s.xs {
+		if x <= 0 {
+			return LogNormal{}, fmt.Errorf("stats: lognormal fit needs positive observations, got %v", x)
+		}
+		sum += math.Log(x)
+	}
+	mu := sum / n
+	var ss float64
+	for _, x := range s.xs {
+		d := math.Log(x) - mu
+		ss += d * d
+	}
+	return LogNormal{Mu: mu, Sigma: math.Sqrt(ss / n)}, nil
+}
+
+// Mean returns the model mean exp(Mu + Sigma^2/2).
+func (m LogNormal) Mean() float64 {
+	return math.Exp(m.Mu + m.Sigma*m.Sigma/2)
+}
+
+// CDF returns the lognormal distribution function.
+func (m LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if m.Sigma == 0 {
+		if math.Log(x) < m.Mu {
+			return 0
+		}
+		return 1
+	}
+	return normCDF((math.Log(x) - m.Mu) / m.Sigma)
+}
+
+// Quantile returns the lognormal quantile exp(Mu + Sigma*Phi^-1(p)).
+func (m LogNormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Exp(m.Mu + m.Sigma*normQuantile(p))
+}
+
+// minQuadPoints is the Simpson-rule resolution of the numeric
+// E[min_k] integral; 4096 panels put the relative error well below
+// the bootstrap bands any prediction carries.
+const minQuadPoints = 4096
+
+// ExpectedMin returns E[min of k i.i.d. draws] under the model. There
+// is no closed form; the integral
+//
+//	E[min_k] = Integral k*phi(t)*(1-Phi(t))^(k-1) * exp(Mu+Sigma*t) dt
+//
+// (the order-statistic density pushed through t = (ln x - Mu)/Sigma)
+// is evaluated by composite Simpson over t in [-12, Sigma+12], where
+// the integrand has decayed below any representable contribution.
+func (m LogNormal) ExpectedMin(k int) float64 {
+	if k <= 1 {
+		return m.Mean()
+	}
+	if m.Sigma == 0 {
+		return math.Exp(m.Mu)
+	}
+	lo, hi := -12.0, m.Sigma+12
+	h := (hi - lo) / minQuadPoints
+	f := func(t float64) float64 {
+		phi := math.Exp(-t*t/2) / math.Sqrt(2*math.Pi)
+		surv := 1 - normCDF(t)
+		if surv <= 0 {
+			return 0
+		}
+		return float64(k) * phi * math.Pow(surv, float64(k-1)) * math.Exp(m.Mu+m.Sigma*t)
+	}
+	sum := f(lo) + f(hi)
+	for i := 1; i < minQuadPoints; i++ {
+		w := 4.0
+		if i%2 == 0 {
+			w = 2.0
+		}
+		sum += w * f(lo+float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+// Speedup returns the model's multi-walk speedup on k cores.
+func (m LogNormal) Speedup(k int) float64 {
+	em := m.ExpectedMin(k)
+	if em == 0 {
+		return float64(k)
+	}
+	return m.Mean() / em
+}
+
+// Family names a fitted runtime-distribution family.
+type Family string
+
+const (
+	// FamilyShiftedExp is the paper's two-regime model: a deterministic
+	// floor plus a memoryless phase. Speedup saturates at Mean/Shift.
+	FamilyShiftedExp Family = "shifted-exp"
+	// FamilyLogNormal is the heavy-tailed model of arXiv 2403.08790.
+	FamilyLogNormal Family = "lognormal"
+)
+
+// KSDistance returns the Kolmogorov-Smirnov statistic of the sample
+// against an arbitrary model CDF: the largest absolute gap between the
+// empirical and model distribution functions.
+func (s *Sample) KSDistance(cdf func(float64) float64) float64 {
+	n := float64(len(s.xs))
+	d := 0.0
+	for i, x := range s.xs {
+		fx := cdf(x)
+		if gap := math.Abs(fx - float64(i+1)/n); gap > d {
+			d = gap
+		}
+		if gap := math.Abs(fx - float64(i)/n); gap > d {
+			d = gap
+		}
+	}
+	return d
+}
+
+// Fit is a fitted runtime model with the goodness-of-fit evidence that
+// selected its family. The non-selected family's parameters are kept
+// so callers can report both candidates.
+type Fit struct {
+	// Family is the selected model family.
+	Family Family
+	// Exp and LN are the fitted candidates (LN is the zero value when
+	// the sample had non-positive observations).
+	Exp ShiftedExp
+	LN  LogNormal
+	// KS is the selected family's Kolmogorov-Smirnov distance to the
+	// sample, AltKS the rejected family's (AltKS >= KS; equal on ties).
+	KS    float64
+	AltKS float64
+}
+
+// FitBest fits both parametric families to the sample and selects the
+// one with the smaller Kolmogorov-Smirnov distance. Samples containing
+// non-positive observations (a solve at zero iterations) can only be
+// shifted-exponential.
+func FitBest(s *Sample) Fit {
+	f := Fit{Exp: FitShiftedExp(s)}
+	ksExp := s.KSDistance(f.Exp.CDF)
+	ln, err := FitLogNormal(s)
+	if err != nil {
+		f.Family = FamilyShiftedExp
+		f.KS = ksExp
+		f.AltKS = math.Inf(1)
+		return f
+	}
+	f.LN = ln
+	ksLN := s.KSDistance(ln.CDF)
+	if ksLN < ksExp {
+		f.Family, f.KS, f.AltKS = FamilyLogNormal, ksLN, ksExp
+	} else {
+		f.Family, f.KS, f.AltKS = FamilyShiftedExp, ksExp, ksLN
+	}
+	return f
+}
+
+// refit re-estimates the fit's parameters on a new sample, keeping the
+// family fixed — the bootstrap resamples a family choice made once on
+// the full sample, so the bands measure parameter uncertainty, not
+// family-selection flapping.
+func (f Fit) refit(s *Sample) Fit {
+	out := f
+	out.Exp = FitShiftedExp(s)
+	if f.Family == FamilyLogNormal {
+		if ln, err := FitLogNormal(s); err == nil {
+			out.LN = ln
+		}
+	}
+	return out
+}
+
+// Mean returns the selected model's mean.
+func (f Fit) Mean() float64 {
+	if f.Family == FamilyLogNormal {
+		return f.LN.Mean()
+	}
+	return f.Exp.Mean()
+}
+
+// ExpectedMin returns the selected model's E[min of k draws].
+func (f Fit) ExpectedMin(k int) float64 {
+	if f.Family == FamilyLogNormal {
+		return f.LN.ExpectedMin(k)
+	}
+	return f.Exp.ExpectedMin(k)
+}
+
+// Speedup returns the selected model's expected speedup at k walkers.
+func (f Fit) Speedup(k int) float64 {
+	if f.Family == FamilyLogNormal {
+		return f.LN.Speedup(k)
+	}
+	return f.Exp.Speedup(k)
+}
+
+// Quantile returns the selected model's p-quantile.
+func (f Fit) Quantile(p float64) float64 {
+	if f.Family == FamilyLogNormal {
+		return f.LN.Quantile(p)
+	}
+	return f.Exp.Quantile(p)
+}
+
+// MinQuantile returns the p-quantile of the minimum of k i.i.d. draws:
+// P(min_k <= t) = p iff F(t) = 1-(1-p)^(1/k). This is the predicted
+// job-latency quantile at k walkers — the quantity a target-P95
+// auto-sizing request is solved against.
+func (f Fit) MinQuantile(k int, p float64) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if p <= 0 {
+		return f.Quantile(0)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return f.Quantile(1 - math.Pow(1-p, 1/float64(k)))
+}
+
+// RuntimeFloor returns the model's essential minimum runtime — the
+// latency no amount of parallelism gets under: Shift for the shifted
+// exponential, 0 for the lognormal.
+func (f Fit) RuntimeFloor() float64 {
+	if f.Family == FamilyLogNormal {
+		return 0
+	}
+	return f.Exp.Shift
+}
+
+// Prediction is an expected-speedup estimate at k walkers with a
+// bootstrap confidence band.
+type Prediction struct {
+	// Walkers is k.
+	Walkers int `json:"walkers"`
+	// Speedup is the selected model's point estimate, Lo/Hi the
+	// bootstrap percentile band at the requested confidence.
+	Speedup float64 `json:"speedup"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	// ExpectedMin is the point estimate of E[min_k] in sample units.
+	ExpectedMin float64 `json:"expected_min"`
+	// Family names the selected model.
+	Family Family `json:"family"`
+}
+
+// PredictSpeedup fits the best family to the sample and returns the
+// expected speedup at k walkers with a bootstrap percentile confidence
+// band: the sample is resampled with replacement iters times, the
+// selected family refitted on each replicate (the family choice itself
+// is held fixed), and the band read from the speedup percentiles.
+func PredictSpeedup(s *Sample, k, iters int, conf float64, r *rng.Rand) (Prediction, error) {
+	if k < 1 {
+		return Prediction{}, fmt.Errorf("stats: PredictSpeedup needs k >= 1, got %d", k)
+	}
+	fit := FitBest(s)
+	p := Prediction{
+		Walkers:     k,
+		Speedup:     fit.Speedup(k),
+		ExpectedMin: fit.ExpectedMin(k),
+		Family:      fit.Family,
+	}
+	lo, hi, err := s.Bootstrap(func(bs *Sample) float64 {
+		return fit.refit(bs).Speedup(k)
+	}, iters, conf, r)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p.Lo, p.Hi = lo, hi
+	return p, nil
+}
+
+// ErrDegenerate reports a sample too flat to predict from (zero mean).
+var ErrDegenerate = errors.New("stats: degenerate sample")

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestShiftedExpClosedForm pins the predictor's closed-form arithmetic
+// to hand-computed values: T = 2 + Exp(mean 6) has E[min_k] = 2 + 6/k,
+// so speedup(k) = 8/(2+6/k), saturating at 4.
+func TestShiftedExpClosedForm(t *testing.T) {
+	m := ShiftedExp{Shift: 2, Scale: 6}
+	cases := []struct {
+		k       int
+		wantMin float64
+		wantSpd float64
+	}{
+		{1, 8, 1},
+		{2, 5, 1.6},
+		{3, 4, 2},
+		{4, 3.5, 8.0 / 3.5},
+		{8, 2.75, 8.0 / 2.75},
+	}
+	for _, c := range cases {
+		if got := m.ExpectedMin(c.k); math.Abs(got-c.wantMin) > 1e-12 {
+			t.Errorf("ExpectedMin(%d) = %v, want %v", c.k, got, c.wantMin)
+		}
+		if got := m.Speedup(c.k); math.Abs(got-c.wantSpd) > 1e-12 {
+			t.Errorf("Speedup(%d) = %v, want %v", c.k, got, c.wantSpd)
+		}
+	}
+	if got := m.SaturationSpeedup(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("SaturationSpeedup = %v, want 4", got)
+	}
+	// Median of Exp(6)+2 is 2 + 6*ln 2.
+	if got, want := m.Quantile(0.5), 2+6*math.Log(2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	// P95 of the min of 4 draws: min_4 ~ 2 + Exp(6/4).
+	want := 2 + 1.5*math.Log(20)
+	f := Fit{Family: FamilyShiftedExp, Exp: m}
+	if got := f.MinQuantile(4, 0.95); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MinQuantile(4, 0.95) = %v, want %v", got, want)
+	}
+	if got := f.RuntimeFloor(); got != 2 {
+		t.Errorf("RuntimeFloor = %v, want 2", got)
+	}
+}
+
+// TestLogNormalMoments pins the lognormal model against its closed
+// forms where they exist and against Monte Carlo where they do not.
+func TestLogNormalMoments(t *testing.T) {
+	m := LogNormal{Mu: 3, Sigma: 0.8}
+	if got, want := m.Mean(), math.Exp(3+0.32); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := m.Quantile(0.5), math.Exp(3.0); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("median = %v, want %v", got, want)
+	}
+	// E[min_1] must agree with the closed-form mean through the k<=1
+	// fast path AND the numeric integral must agree when forced.
+	if got, want := m.ExpectedMin(1), m.Mean(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("ExpectedMin(1) = %v, want mean %v", got, want)
+	}
+	// CDF/Quantile are inverses.
+	for _, p := range []float64{0.05, 0.5, 0.95, 0.999} {
+		if got := m.CDF(m.Quantile(p)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	// E[min_k] against Monte Carlo for k in {2, 4, 8}.
+	r := rng.New(7)
+	const draws = 400_000
+	for _, k := range []int{2, 4, 8} {
+		var sum float64
+		for i := 0; i < draws; i++ {
+			m1 := math.Inf(1)
+			for j := 0; j < k; j++ {
+				x := math.Exp(3 + 0.8*r.NormFloat64())
+				if x < m1 {
+					m1 = x
+				}
+			}
+			sum += m1
+		}
+		mc := sum / draws
+		got := m.ExpectedMin(k)
+		if math.Abs(got-mc)/mc > 0.02 {
+			t.Errorf("ExpectedMin(%d) = %v, Monte Carlo %v (diff > 2%%)", k, got, mc)
+		}
+		if spd := m.Speedup(k); spd <= 1 || spd > float64(k) {
+			t.Errorf("Speedup(%d) = %v outside (1, k]", k, spd)
+		}
+	}
+}
+
+// TestFitShiftedExpRoundTrip draws a large sample from a known shifted
+// exponential and requires the moment fit to recover its parameters
+// within tolerance — the round-trip that justifies trusting fitted
+// parameters from calibration data.
+func TestFitShiftedExpRoundTrip(t *testing.T) {
+	const (
+		shift = 500.0
+		scale = 2500.0
+		n     = 4000
+	)
+	r := rng.New(42)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = shift + scale*r.ExpFloat64()
+	}
+	s, err := New(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FitShiftedExp(s)
+	if math.Abs(m.Shift-shift)/shift > 0.05 {
+		t.Errorf("recovered shift %v, want %v within 5%%", m.Shift, shift)
+	}
+	if math.Abs(m.Scale-scale)/scale > 0.05 {
+		t.Errorf("recovered scale %v, want %v within 5%%", m.Scale, scale)
+	}
+	// The speedup predicted from the fit must track the true model's.
+	truth := ShiftedExp{Shift: shift, Scale: scale}
+	for _, k := range []int{2, 4, 8, 16} {
+		if got, want := m.Speedup(k), truth.Speedup(k); math.Abs(got-want)/want > 0.05 {
+			t.Errorf("fitted Speedup(%d) = %v, true %v", k, got, want)
+		}
+	}
+}
+
+// TestFitLogNormalRoundTrip is the same round trip for the lognormal
+// family.
+func TestFitLogNormalRoundTrip(t *testing.T) {
+	r := rng.New(11)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = math.Exp(5 + 1.2*r.NormFloat64())
+	}
+	s, err := New(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitLogNormal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mu-5) > 0.1 {
+		t.Errorf("recovered mu %v, want 5 +- 0.1", m.Mu)
+	}
+	if math.Abs(m.Sigma-1.2) > 0.1 {
+		t.Errorf("recovered sigma %v, want 1.2 +- 0.1", m.Sigma)
+	}
+}
+
+// TestFitBestSelectsFamily checks that the KS selector picks the
+// generating family on clean synthetic data from each.
+func TestFitBestSelectsFamily(t *testing.T) {
+	r := rng.New(3)
+	// A strongly shifted exponential: lognormal cannot express the hard
+	// floor at 1000.
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = 1000 + 50*r.ExpFloat64()
+	}
+	s, _ := New(xs)
+	if f := FitBest(s); f.Family != FamilyShiftedExp {
+		t.Errorf("shifted-exp data selected %s (KS %v vs alt %v)", f.Family, f.KS, f.AltKS)
+	}
+	// A wide lognormal: the exponential's memoryless tail misses badly.
+	for i := range xs {
+		xs[i] = math.Exp(4 + 1.5*r.NormFloat64())
+	}
+	s, _ = New(xs)
+	f := FitBest(s)
+	if f.Family != FamilyLogNormal {
+		t.Errorf("lognormal data selected %s (KS %v vs alt %v)", f.Family, f.KS, f.AltKS)
+	}
+	if f.KS > f.AltKS {
+		t.Errorf("selected family's KS %v exceeds alternative's %v", f.KS, f.AltKS)
+	}
+	// Data with zeros can only be shifted-exp.
+	zs := append([]float64{0, 0}, xs[:100]...)
+	s, _ = New(zs)
+	if f := FitBest(s); f.Family != FamilyShiftedExp {
+		t.Errorf("zero-containing data selected %s", f.Family)
+	}
+}
+
+// TestPredictSpeedup checks the full predictor: on shifted-exp data the
+// point estimate tracks the closed form and the bootstrap band covers
+// it.
+func TestPredictSpeedup(t *testing.T) {
+	truth := ShiftedExp{Shift: 200, Scale: 1800}
+	r := rng.New(99)
+	xs := make([]float64, 1500)
+	for i := range xs {
+		xs[i] = truth.Shift + truth.Scale*r.ExpFloat64()
+	}
+	s, err := New(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 8} {
+		p, err := PredictSpeedup(s, k, 200, 0.95, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := truth.Speedup(k)
+		if math.Abs(p.Speedup-want)/want > 0.1 {
+			t.Errorf("k=%d: predicted %v, true %v", k, p.Speedup, want)
+		}
+		if !(p.Lo <= p.Speedup && p.Speedup <= p.Hi) {
+			t.Errorf("k=%d: point %v outside band [%v, %v]", k, p.Speedup, p.Lo, p.Hi)
+		}
+		if p.Lo > want || p.Hi < want {
+			t.Errorf("k=%d: true %v outside band [%v, %v]", k, want, p.Lo, p.Hi)
+		}
+		if p.Walkers != k {
+			t.Errorf("k echo = %d", p.Walkers)
+		}
+	}
+	if _, err := PredictSpeedup(s, 0, 100, 0.95, rng.New(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
